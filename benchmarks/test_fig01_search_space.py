@@ -1,0 +1,22 @@
+"""Figure 1: parameter-permutation growth across I/O stack compositions.
+
+Paper claim: stacks composed of multiple I/O libraries have astronomically
+many configuration permutations (e.g. HDF5+MPI ~ 3.81e21 with two values
+per discrete and five per continuous parameter), and the evaluated
+12-parameter space alone has over 2.18 billion.
+"""
+
+from repro.analysis import fig01_search_space
+
+
+def test_fig01_search_space(run_once):
+    result = run_once(fig01_search_space)
+    print("\n" + result.report())
+
+    stacks = dict(result.stack_rows)
+    # Same order of magnitude as the paper's HDF5+MPI example.
+    assert 1e20 < stacks["HDF5+MPI"] < 1e23
+    # Composition strictly multiplies the space.
+    assert stacks["HDF5+MPI+Hermes"] > stacks["HDF5+MPI"] > stacks["HDF5"]
+    # The tuned space matches the paper's "over 2.18 billion".
+    assert result.tuned_space_permutations > 2_180_000_000

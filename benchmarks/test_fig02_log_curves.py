@@ -1,0 +1,24 @@
+"""Figure 2: HSTuner tuning curves follow a logarithmic shape.
+
+Paper claim: tuning HACC, FLASH and VPIC with HSTuner produces
+bandwidth-vs-iteration curves where "performance is gained initially and
+attenuates" -- the log-curve premise the early stopper is trained on.
+"""
+
+from repro.analysis import fig02_log_curves
+
+
+def test_fig02_log_curves(run_once):
+    result = run_once(fig02_log_curves, seed=0)
+    print("\n" + result.report())
+
+    for name, fit in result.log_fit_r2.items():
+        assert fit > 0.4, f"{name} curve is not log-shaped (R^2={fit:.2f})"
+    for name, res in result.results.items():
+        series = res.perf_series()
+        # Diminishing returns: the first half of the run captures most
+        # of the total gain.
+        half = series[len(series) // 2] - res.baseline_perf
+        total = series[-1] - res.baseline_perf
+        assert half > 0.6 * total, name
+        assert res.best_perf > 2 * res.baseline_perf, name

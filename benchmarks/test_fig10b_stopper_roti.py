@@ -1,0 +1,29 @@
+"""Figure 10(b): RoTI of the stopping methods on HACC.
+
+Paper claim (fraction of the best possible return): TunIO 90.5% >
+Maximizing-Performance oracle 86.1% > 50-iteration budget 77.9% >
+heuristic 59.3%.  The ordering -- TunIO beats every practical
+alternative and the full budget is the worst way to spend time -- is
+the shape under test.
+"""
+
+from repro.analysis import fig10_early_stopping
+
+
+def test_fig10b_stopper_roti(run_once):
+    result = run_once(fig10_early_stopping, seed=8)
+    print("\n" + result.report())
+
+    by_name = {o.name.split("-")[0]: o for o in result.outcomes}
+    tunio = by_name["tunio"]
+    heuristic = by_name["heuristic"]
+    budget = by_name["full"]
+
+    # TunIO's return beats the heuristic's and the exhausted budget's.
+    assert tunio.roti > heuristic.roti
+    assert tunio.roti > budget.roti
+    # The perfect stop is an upper bound on everything.
+    for o in result.outcomes:
+        assert o.roti <= result.perfect.roti * 1.001
+    # TunIO spends less time than the full budget (paper: 744 vs 800 min).
+    assert tunio.minutes < budget.minutes

@@ -1,0 +1,58 @@
+"""Micro-benchmarks: the hot paths that make tuning runs fast.
+
+These use pytest-benchmark statistically (many rounds): a full GA tuning
+experiment only stays interactive because a single stack evaluation is
+sub-millisecond and a discovery pass is tens of milliseconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.discovery import DiscoveryOptions, discover_io
+from repro.iostack import IOStackSimulator, NoiseModel, StackConfiguration, cori
+from repro.workloads import flash
+from repro.workloads.sources import canonical_hints, load_source
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return IOStackSimulator(cori(4), NoiseModel(seed=0))
+
+
+def test_single_evaluation_speed(benchmark, sim):
+    w = flash()
+    config = StackConfiguration.default()
+    result = benchmark(lambda: sim.evaluate(w, config))
+    assert result.perf_mbps > 0
+    assert benchmark.stats["mean"] < 0.02  # < 20 ms per 3-run evaluation
+
+
+def test_discovery_pipeline_speed(benchmark):
+    source = load_source("macsio")
+    options = DiscoveryOptions(hints=canonical_hints("macsio"))
+    kernel = benchmark(lambda: discover_io(source, "macsio", options))
+    assert kernel.kept_line_count > 0
+    assert benchmark.stats["mean"] < 0.5
+
+
+def test_config_encode_decode_speed(benchmark):
+    from repro.iostack import TUNED_SPACE
+
+    rng = np.random.default_rng(0)
+    config = StackConfiguration.random(rng)
+    genome = config.genome()
+
+    def roundtrip():
+        return StackConfiguration.from_genome(TUNED_SPACE, genome)
+
+    assert benchmark(roundtrip) == config
+
+
+def test_nn_train_batch_speed(benchmark, rng=np.random.default_rng(0)):
+    from repro.rl.nn import MLP
+
+    net = MLP([16, 32, 32, 4], rng)
+    x = rng.normal(size=(64, 16))
+    y = rng.normal(size=(64, 4))
+    benchmark(lambda: net.train_batch(x, y))
+    assert benchmark.stats["mean"] < 0.01

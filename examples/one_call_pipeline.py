@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The one-call pipeline: source code + tuning specification -> tuned
+configuration (the paper's Figure 3 interface).
+
+`TuningSpec` carries the user constraints: the iteration and minute
+budgets, the expected number of production runs (stopper patience), and
+the kernel-reduction choices that encode whether this is a quick
+debugging-phase tune or a production one.
+"""
+
+from repro import TuningSpec, tune_application
+from repro.iostack import to_xml
+from repro.workloads.sources import canonical_hints, load_source
+
+
+def main() -> None:
+    source = load_source("macsio")
+    hints = canonical_hints("macsio")
+
+    # A debugging-phase tune: cheap kernel (1% of I/O loop iterations),
+    # hard 400-simulated-minute budget.
+    spec = TuningSpec(
+        max_iterations=50,
+        budget_minutes=400.0,
+        loop_reduction=0.01,
+        expected_runs=10_000,
+        seed=42,
+    )
+    outcome = tune_application(source, hints, spec, name="macsio")
+
+    kernel = outcome.kernel
+    print(
+        f"kernel: kept {kernel.kept_line_count}/{kernel.original_line_count} "
+        f"lines, metrics extrapolate x{kernel.extrapolation_factor:g}"
+    )
+    result = outcome.result
+    print(
+        f"tuning: {len(result.history)} iterations, "
+        f"{result.total_minutes:.0f} simulated minutes ({result.stop_reason})"
+    )
+    print(
+        f"application: {outcome.app_baseline_mbps / 1000:.2f} -> "
+        f"{outcome.app_perf_mbps / 1000:.2f} GB/s ({outcome.gain:.1f}x)"
+    )
+    print("\nH5Tuner override file:")
+    print(to_xml(result.best_config))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+"""``tunio-tune``: tune a bundled workload end-to-end from the shell.
+
+Runs the offline training phase (or loads a checkpoint), builds the
+TunIO pipeline against the simulated Cori platform, tunes the chosen
+application, and prints the tuning curve plus the chosen configuration.
+
+Usage::
+
+    tunio-tune flash
+    tunio-tune hacc --tuner hstuner --iterations 40
+    tunio-tune macsio --use-kernel --loop-reduction 0.01 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from repro.discovery.kernel import DiscoveryOptions, discover_io
+from repro.discovery.reducers import IOPathSwitching, LoopReduction, Reducer
+from repro.iostack.cluster import cori
+from repro.iostack.config import to_xml
+from repro.iostack.noise import NoiseModel
+from repro.iostack.simulator import IOStackSimulator
+from repro.tuners.hstuner import HSTuner
+from repro.tuners.stoppers import HeuristicStopper, NoStop
+from repro.workloads import bdcats, flash, hacc, ior, macsio_vpic_dipole, vpic
+from repro.workloads.sources import canonical_hints, load_source
+
+from .objective import PerfNormalizer
+from .offline_training import load_agents, save_agents, train_tunio_agents
+from .pipeline import build_tunio
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = {
+    "vpic": vpic,
+    "flash": flash,
+    "hacc": hacc,
+    "macsio": macsio_vpic_dipole,
+    "bdcats": bdcats,
+    "ior": ior,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tunio-tune",
+        description="Tune a bundled HPC workload on the simulated I/O stack.",
+    )
+    parser.add_argument("workload", choices=sorted(_WORKLOADS))
+    parser.add_argument(
+        "--tuner", choices=("tunio", "hstuner", "hstuner-heuristic"),
+        default="tunio", help="pipeline to run (default: tunio)",
+    )
+    parser.add_argument("--iterations", type=int, default=50, help="iteration budget")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--use-kernel", action="store_true",
+        help="tune the discovered I/O kernel instead of the full application",
+    )
+    parser.add_argument(
+        "--loop-reduction", type=float, default=None, metavar="FRACTION",
+        help="apply loop reduction to the kernel (implies --use-kernel)",
+    )
+    parser.add_argument(
+        "--path-switch", type=str, default=None, metavar="PREFIX",
+        help="apply I/O path switching to the kernel (implies --use-kernel)",
+    )
+    parser.add_argument(
+        "--expected-runs", type=float, default=None,
+        help="anticipated production executions (stopper patience input)",
+    )
+    parser.add_argument(
+        "--agents-cache", type=str, default=None, metavar="PATH",
+        help="npz checkpoint for the offline-trained agents: loaded when "
+             "present, written after training otherwise",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    rng = np.random.default_rng(args.seed)
+
+    workload = _WORKLOADS[args.workload]()
+    platform = cori(workload.n_nodes)
+    simulator = IOStackSimulator(platform, NoiseModel(seed=args.seed))
+    normalizer = PerfNormalizer.for_platform(platform, workload.n_nodes)
+
+    target = workload
+    use_kernel = args.use_kernel or args.loop_reduction or args.path_switch
+    if use_kernel:
+        from repro.workloads.sources import available_sources
+
+        if args.workload not in available_sources():
+            print(
+                f"tunio-tune: no bundled C source for {args.workload!r}; "
+                f"kernel mode needs one of {available_sources()}",
+                file=sys.stderr,
+            )
+            return 2
+        reducers: list[Reducer] = []
+        if args.loop_reduction:
+            reducers.append(LoopReduction(args.loop_reduction))
+        if args.path_switch:
+            reducers.append(IOPathSwitching(args.path_switch))
+        kernel = discover_io(
+            load_source(args.workload),
+            name=args.workload,
+            options=DiscoveryOptions(
+                reducers=tuple(reducers), hints=canonical_hints(args.workload)
+            ),
+        )
+        target = kernel.to_workload()
+        print(
+            f"using I/O kernel: kept {kernel.kept_line_count}/"
+            f"{kernel.original_line_count} lines"
+        )
+
+    if args.tuner == "tunio":
+        if args.agents_cache and os.path.exists(args.agents_cache):
+            print(f"loading trained agents from {args.agents_cache}")
+            agents = load_agents(args.agents_cache, normalizer, rng=rng)
+        else:
+            print("offline training (sweep + PCA + log-curve RL)...")
+            training = [vpic(), flash(), hacc()]
+            agents = train_tunio_agents(simulator, training, normalizer, rng=rng)
+            if args.agents_cache:
+                save_agents(agents, args.agents_cache)
+                print(f"saved trained agents to {args.agents_cache}")
+        tuner = build_tunio(
+            simulator, agents, normalizer,
+            expected_runs=args.expected_runs, rng=rng,
+        )
+    elif args.tuner == "hstuner":
+        tuner = HSTuner(simulator, stopper=NoStop(), rng=rng)
+    else:
+        tuner = HSTuner(simulator, stopper=HeuristicStopper(), rng=rng)
+
+    print(f"tuning {target.name} with {tuner.name} (budget {args.iterations})...")
+    result = tuner.tune(target, max_iterations=args.iterations)
+
+    print(f"\nbaseline: {result.baseline_perf:10.1f} MB/s")
+    for rec in result.history:
+        marker = "  <- stopped" if result.stopped_at == rec.iteration else ""
+        print(
+            f"iter {rec.iteration:3d}  best {rec.best_perf:10.1f} MB/s  "
+            f"t={rec.elapsed_minutes:8.1f} min  subset={len(rec.tuned_parameters):2d}{marker}"
+        )
+    print(
+        f"\nfinal: {result.best_perf:.1f} MB/s "
+        f"({result.best_perf / max(result.baseline_perf, 1e-9):.2f}x) "
+        f"in {result.total_minutes:.1f} simulated minutes "
+        f"({result.total_evaluations} evaluations, {result.stop_reason})"
+    )
+    if result.best_config is not None:
+        print("\nH5Tuner override file:")
+        print(to_xml(result.best_config))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,428 @@
+"""TunIO's Early Stopping component.
+
+An NN Q-learning agent (Section III-D) that watches the tuning run --
+its inputs are "the perf gained in the respective iteration and the
+number of iterations" -- and decides stop/continue.  It is trained
+offline on generated noisy log curves until its average reward
+stagnates (<5% improvement across five epochs), then keeps learning
+online from the applications it tunes.
+
+Design of the decision problem:
+
+* **State** (5 features): iteration fraction ``t/T``, normalised
+  best-so-far perf, gain over the last iteration, gain over the last
+  ``delay`` iterations, and the (normalised) number of iterations since
+  the last meaningful improvement -- the plateau-length signal.
+* **Actions**: 0 = continue, 1 = stop (terminal).  Offline, stopping is
+  rewarded with the exact trade-off it chose -- tuning cost saved minus
+  gain forfeited -- which the generator knows because it made the curve.
+* **Reward for continue**, matured with the paper's 5-iteration delay:
+  the normalised perf gained over the next ``delay`` iterations minus a
+  per-window tuning cost.  With discounting, Q(continue) is the expected
+  remaining (cost-adjusted) gain, so the greedy policy stops exactly
+  when further tuning no longer pays -- and rides out early plateaus,
+  because from low-perf/early-iteration states the *expected* future
+  gain across the training distribution is positive even when the
+  current slope is zero.
+
+:class:`RLStopper` adapts the trained agent to the
+:class:`~repro.tuners.stoppers.Stopper` protocol and implements the
+paper's future-work extension: an ``expected_runs`` input that lowers
+the effective iteration cost when the tuned configuration will be
+reused many times, letting the pipeline tune longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.rl.curves import LogCurve, LogCurveGenerator
+from repro.rl.qlearning import QLearningAgent, QLearningConfig
+from repro.rl.replay import DelayedRewardBuffer, Transition
+from repro.tuners.base import IterationRecord
+
+from .objective import PerfNormalizer
+
+__all__ = [
+    "EarlyStoppingConfig",
+    "OfflineTrainingReport",
+    "EarlyStoppingAgent",
+    "RLStopper",
+]
+
+_STATE_DIM = 5
+_CONTINUE, _STOP = 0, 1
+
+
+@dataclass(frozen=True)
+class EarlyStoppingConfig:
+    """Hyper-parameters of the early-stopping agent."""
+
+    #: Reward-maturation delay in iterations (the paper uses 5).
+    delay: int = 5
+    #: Normalised-perf cost of one ``delay``-iteration window of tuning.
+    iteration_cost: float = 0.025
+    #: Nominal iteration budget used to normalise the iteration feature.
+    max_iterations: int = 50
+    discount: float = 0.97
+    hidden: tuple[int, ...] = (32, 32)
+    learning_rate: float = 1e-3
+    #: Iterations the agent will never stop before (warm-up; a tuner
+    #: cannot meaningfully stop before it has seen any trend).
+    min_iterations: int = 4
+
+    def __post_init__(self) -> None:
+        if self.delay < 1 or self.max_iterations < 2:
+            raise ValueError("delay and max_iterations must be positive")
+        if self.iteration_cost < 0:
+            raise ValueError("iteration_cost must be >= 0")
+        if self.min_iterations < 0:
+            raise ValueError("min_iterations must be >= 0")
+
+
+@dataclass(frozen=True)
+class OfflineTrainingReport:
+    """Outcome of offline training."""
+
+    epochs: int
+    mean_rewards: tuple[float, ...]
+    #: Mean |stop - ideal_stop| on held-out validation curves.
+    validation_stop_error: float
+    #: Mean fraction of the total gain captured at the stop point.
+    validation_gain_captured: float
+    stagnated: bool
+
+
+class EarlyStoppingAgent:
+    """The Q-learning stop/continue agent."""
+
+    def __init__(
+        self,
+        config: EarlyStoppingConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.config = config or EarlyStoppingConfig()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.agent = QLearningAgent(
+            QLearningConfig(
+                state_dim=_STATE_DIM,
+                n_actions=2,
+                hidden=self.config.hidden,
+                learning_rate=self.config.learning_rate,
+                discount=self.config.discount,
+                epsilon_start=1.0,
+                epsilon_end=0.02,
+                epsilon_decay=0.997,
+                batch_size=64,
+                target_sync_every=100,
+            ),
+            self.rng,
+        )
+
+    # -- state construction --------------------------------------------------
+
+    def state_from_series(self, values: Sequence[float], t: int) -> np.ndarray:
+        """Build the 5-feature state from a best-so-far perf series
+        (normalised units) at iteration ``t``."""
+        cfg = self.config
+        v = np.asarray(values, dtype=float)
+        if not 0 <= t < v.size:
+            raise IndexError(f"iteration {t} outside series of length {v.size}")
+        gain_1 = v[t] - v[t - 1] if t >= 1 else 0.0
+        back = max(0, t - cfg.delay)
+        gain_d = v[t] - v[back] if t >= 1 else 0.0
+        # Iterations since the last improvement of >=1.5% of current
+        # perf (smaller gains are indistinguishable from measurement
+        # luck on a noisy platform and must not reset the plateau clock).
+        stall = 0
+        threshold = 0.015 * max(v[t], 1e-9)
+        for k in range(t, 0, -1):
+            if v[k] - v[k - 1] >= threshold:
+                break
+            stall += 1
+        return np.array(
+            [
+                min(2.0, t / cfg.max_iterations),
+                v[t],
+                gain_1,
+                gain_d,
+                min(4.0, stall / cfg.delay),
+            ],
+            dtype=float,
+        )
+
+    # -- decisions ------------------------------------------------------------
+
+    def should_stop(self, values: Sequence[float], t: int, greedy: bool = True) -> bool:
+        """Greedy stop/continue decision at iteration ``t`` of a series."""
+        if t < self.config.min_iterations:
+            return False
+        state = self.state_from_series(values, t)
+        return self.agent.act(state, greedy=greedy) == _STOP
+
+    # -- offline training ------------------------------------------------------
+
+    def _monte_carlo_pretrain(
+        self,
+        generator: LogCurveGenerator,
+        rng: np.random.Generator,
+        n_curves: int = 600,
+        epochs: int = 60,
+    ) -> None:
+        """Supervised warm start: regress Q(s, continue) onto the true
+        discounted continue-forever return of each state (computable
+        offline because the generator knows the whole curve) and
+        Q(s, stop) onto zero.  This pins the stop/continue boundary to
+        the cost-vs-remaining-gain economics before the episodic phase
+        refines it."""
+        cfg = self.config
+        states: list[np.ndarray] = []
+        targets: list[np.ndarray] = []
+        for _ in range(n_curves):
+            v = generator.sample(rng).values
+            n = v.size
+            # Per-step matured reward, pro-rated from the delay window.
+            r = np.empty(n - 1)
+            for t in range(n - 1):
+                horizon = min(t + cfg.delay, n - 1)
+                r[t] = ((v[horizon] - v[t]) - cfg.iteration_cost) / cfg.delay
+            returns = np.zeros(n)
+            for t in range(n - 2, -1, -1):
+                returns[t] = r[t] + cfg.discount * returns[t + 1]
+            # Sample a handful of states per curve to keep the set varied.
+            for t in rng.choice(n - 1, size=min(20, n - 1), replace=False):
+                t = int(t)
+                states.append(self.state_from_series(v, t))
+                targets.append(np.array([returns[t], 0.0]))
+        x = np.stack(states)
+        y = np.stack(targets)
+        self.agent.q_network.fit(x, y, epochs=epochs, batch_size=64, rng=rng)
+        self.agent.target_network.copy_from(self.agent.q_network)
+
+    def train_offline(
+        self,
+        generator: LogCurveGenerator | None = None,
+        rng: np.random.Generator | None = None,
+        max_epochs: int = 40,
+        episodes_per_epoch: int = 32,
+        stagnation_threshold: float = 0.05,
+        stagnation_window: int = 5,
+        validation_curves: int = 40,
+    ) -> OfflineTrainingReport:
+        """Train on synthetic log curves: a Monte-Carlo supervised warm
+        start, then episodic Q-learning until the average reward
+        stagnates (the paper's <5%-over-5 criterion); finally validate
+        against the curves' known ideal stop points."""
+        generator = generator or LogCurveGenerator()
+        rng = rng if rng is not None else self.rng
+        self._monte_carlo_pretrain(generator, rng)
+        # The warm start means little exploration is needed afterwards.
+        self.agent.epsilon = 0.2
+
+        mean_rewards: list[float] = []
+        stagnated = False
+        min_epochs = 4 * stagnation_window  # let exploration decay first
+        for _ in range(max_epochs):
+            rewards = []
+            for _ in range(episodes_per_epoch):
+                rewards.append(self._run_episode(generator.sample(rng), learn=True))
+                self.agent.decay_epsilon()
+            mean_rewards.append(float(np.mean(rewards)))
+            if len(mean_rewards) >= min_epochs:
+                # Window means rather than point values: single-epoch
+                # reward estimates are too noisy to test a 5% criterion.
+                now = float(np.mean(mean_rewards[-stagnation_window:]))
+                past = float(
+                    np.mean(mean_rewards[-2 * stagnation_window : -stagnation_window])
+                )
+                denom = abs(past) if abs(past) > 1e-9 else 1.0
+                if (now - past) / denom < stagnation_threshold:
+                    stagnated = True
+                    break
+
+        errors: list[float] = []
+        captured: list[float] = []
+        for _ in range(validation_curves):
+            curve = generator.sample(rng)
+            stop = self.evaluate_stop_point(curve)
+            errors.append(abs(stop - self.economic_stop(curve)))
+            total_gain = curve.final - curve.initial
+            got = curve.values[stop] - curve.initial
+            captured.append(float(got / total_gain) if total_gain > 0 else 1.0)
+        return OfflineTrainingReport(
+            epochs=len(mean_rewards),
+            mean_rewards=tuple(mean_rewards),
+            validation_stop_error=float(np.mean(errors)),
+            validation_gain_captured=float(np.mean(captured)),
+            stagnated=stagnated,
+        )
+
+    def economic_stop(self, curve: LogCurve) -> int:
+        """The cost-optimal stop point under this agent's iteration
+        cost: argmax of perf minus the pro-rated tuning cost."""
+        c = self.config.iteration_cost / self.config.delay
+        t = np.arange(curve.values.size)
+        return int(np.argmax(curve.values - c * t))
+
+    def evaluate_stop_point(self, curve: LogCurve) -> int:
+        """Where the greedy policy stops on a curve (its last index if it
+        never stops)."""
+        for t in range(curve.values.size):
+            if self.should_stop(curve.values, t, greedy=True):
+                return t
+        return curve.values.size - 1
+
+    # -- learning machinery -----------------------------------------------------
+
+    def _run_episode(self, curve: LogCurve, learn: bool) -> float:
+        """One training episode over a synthetic curve; returns the
+        (undiscounted) episode reward."""
+        cfg = self.config
+        v = curve.values
+        buffer = DelayedRewardBuffer(delay=cfg.delay)
+        total_reward = 0.0
+
+        def continue_reward(born: int, now: int) -> float:
+            horizon = min(born + cfg.delay, v.size - 1)
+            return float(v[horizon] - v[born]) - cfg.iteration_cost
+
+        t = 0
+        while t < v.size - 1:
+            state = self.state_from_series(v, t)
+            action = self.agent.act(state) if t >= cfg.min_iterations else _CONTINUE
+            if action == _STOP:
+                if learn:
+                    # Offline we know the whole curve, so the stop action
+                    # gets the exact trade-off it chose: the gain it
+                    # forfeited versus the tuning cost it saved.
+                    remaining_gain = float(v[-1] - v[t])
+                    saved_cost = cfg.iteration_cost * (v.size - 1 - t) / cfg.delay
+                    self.agent.observe(
+                        Transition(state, _STOP, saved_cost - remaining_gain, state, done=True)
+                    )
+                    self._flush(buffer, t, v)
+                    self.agent.train_step()
+                break
+            buffer.remember(state, _CONTINUE, t)
+            t += 1
+            matured = buffer.mature(
+                t, continue_reward, self.state_from_series(v, t), done=False
+            )
+            for tr in matured:
+                total_reward += tr.reward
+                if learn:
+                    self.agent.observe(tr)
+            if learn:
+                self.agent.train_step()
+        else:
+            if learn:
+                self._flush(buffer, v.size - 1, v)
+                self.agent.train_step()
+        return total_reward
+
+    def _flush(self, buffer: DelayedRewardBuffer, t: int, v: np.ndarray) -> None:
+        cfg = self.config
+
+        def reward(born: int, now: int) -> float:
+            horizon = min(born + cfg.delay, v.size - 1)
+            return float(v[horizon] - v[born]) - cfg.iteration_cost
+
+        for tr in buffer.mature(t, reward, self.state_from_series(v, t), done=True):
+            self.agent.observe(tr)
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def get_weights(self) -> dict[str, np.ndarray]:
+        return self.agent.get_weights()
+
+    def set_weights(self, weights: dict[str, np.ndarray]) -> None:
+        self.agent.set_weights(weights)
+
+
+class RLStopper:
+    """Adapter: the trained agent as a tuning-pipeline
+    :class:`~repro.tuners.stoppers.Stopper`.
+
+    Keeps learning online: every iteration's observation is pushed into
+    the agent's replay with the same delayed-reward scheme used offline.
+
+    Parameters
+    ----------
+    agent:
+        A (typically offline-trained) :class:`EarlyStoppingAgent`.
+    normalizer:
+        Maps the pipeline's raw MB/s to the agent's normalised units.
+    expected_runs:
+        Anticipated production executions of the tuned application.  The
+        default (None) keeps the agent's trained cost; larger values
+        scale the effective iteration cost down (more patience), the
+        paper's proposed future-work input.
+    online_learning:
+        Whether to keep training during live tuning.
+    """
+
+    #: expected_runs at which the agent's trained cost applies unchanged.
+    REFERENCE_RUNS = 1000.0
+
+    def __init__(
+        self,
+        agent: EarlyStoppingAgent,
+        normalizer: PerfNormalizer,
+        expected_runs: float | None = None,
+        online_learning: bool = True,
+    ):
+        if expected_runs is not None and expected_runs <= 0:
+            raise ValueError("expected_runs must be positive")
+        self.agent = agent
+        self.normalizer = normalizer
+        self.expected_runs = expected_runs
+        self.online_learning = online_learning
+        self.name = "tunio-rl-stopper"
+        self._series: list[float] = []
+        self._buffer = DelayedRewardBuffer(delay=agent.config.delay)
+
+    def reset(self) -> None:
+        self._series.clear()
+        self._buffer.clear()
+
+    def _patience_scale(self) -> float:
+        if self.expected_runs is None:
+            return 1.0
+        # More production runs -> cheaper tuning iterations, log-scaled.
+        return 1.0 / max(0.25, np.log10(self.expected_runs) / np.log10(self.REFERENCE_RUNS))
+
+    def should_stop(self, history: Sequence[IterationRecord]) -> bool:
+        if not history:
+            return False
+        self._series.append(self.normalizer.normalize(history[-1].best_perf))
+        t = len(self._series) - 1
+
+        if self.online_learning and t >= 1:
+            cfg = self.agent.config
+            cost = cfg.iteration_cost * self._patience_scale()
+            v = self._series
+
+            def reward(born: int, now: int) -> float:
+                horizon = min(born + cfg.delay, len(v) - 1)
+                return float(v[horizon] - v[born]) - cost
+
+            state_prev = self.agent.state_from_series(v, t - 1)
+            self._buffer.remember(state_prev, _CONTINUE, t - 1)
+            for tr in self._buffer.mature(
+                t, reward, self.agent.state_from_series(v, t), done=False
+            ):
+                self.agent.agent.observe(tr)
+            self.agent.agent.train_step()
+
+        decision = self.agent.should_stop(self._series, t, greedy=True)
+        if decision and self.expected_runs is not None:
+            # Patience: with many production runs ahead, require the
+            # projected remaining gain to be truly negligible before
+            # accepting the stop (scale the Q-margin by patience).
+            q = self.agent.agent.q_values(self.agent.state_from_series(self._series, t))
+            margin = q[_STOP] - q[_CONTINUE]
+            decision = margin >= (self._patience_scale() - 1.0) * self.agent.config.iteration_cost
+        return bool(decision)

@@ -1,0 +1,135 @@
+"""The TunIO tuning pipeline: HSTuner + the three TunIO components.
+
+:class:`TunIOTuner` extends :class:`~repro.tuners.hstuner.HSTuner` by
+
+* asking the Smart Configuration Generation agent for the parameter
+  subset each generation may vary (Impact-First Tuning),
+* crediting that subset with the normalised perf change it produced, and
+* consulting the RL early stopper after every generation.
+
+:func:`build_tunio` wires a ready pipeline from offline-trained agents;
+:class:`TuningSession` adds the paper's future-work interactive
+refinement: a session can be resumed for more iterations later, keeping
+the GA population, agents and clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.iostack.parameters import TUNED_SPACE, ParameterSpace
+from repro.iostack.simulator import IOStackSimulator, WorkloadLike
+from repro.tuners.base import IterationRecord, TuningResult
+from repro.tuners.hstuner import HSTuner
+
+from .early_stopping import RLStopper
+from .objective import PerfNormalizer
+from .offline_training import TunIOAgents
+from .smart_config import SmartConfigAgent
+
+__all__ = ["TunIOTuner", "build_tunio", "TuningSession"]
+
+
+class TunIOTuner(HSTuner):
+    """HSTuner with TunIO's Smart Configuration Generation and RL early
+    stopping attached."""
+
+    name = "tunio"
+
+    def __init__(
+        self,
+        simulator: IOStackSimulator,
+        smart_config: SmartConfigAgent,
+        stopper: RLStopper,
+        space: ParameterSpace = TUNED_SPACE,
+        **kwargs,
+    ):
+        super().__init__(simulator, space=space, stopper=stopper, **kwargs)
+        self.smart_config = smart_config
+        self._current_subset: tuple[str, ...] | None = None
+        self._last_best_norm: float | None = None
+
+    # -- HSTuner extension points ------------------------------------------------
+
+    def _select_subset(
+        self, iteration: int, history: Sequence[IterationRecord]
+    ) -> tuple[str, ...] | None:
+        if iteration == 0:
+            # Generation 0 evaluates the seed population; the agent takes
+            # over from the first bred generation.
+            self.smart_config.reset_episode()
+            self._current_subset = None
+            self._last_best_norm = None
+            return None
+        last = history[-1]
+        subset = self.smart_config.subset_picker(
+            last.best_perf,
+            self._current_subset,
+            iteration=iteration,
+        )
+        self._current_subset = subset
+        return subset
+
+    def _observe_iteration(self, record: IterationRecord) -> None:
+        norm = self.smart_config._normalize(record.best_perf)
+        if self._current_subset is not None and self._last_best_norm is not None:
+            self.smart_config.credit_subset(
+                self._current_subset, norm - self._last_best_norm
+            )
+        self._last_best_norm = norm
+
+
+def build_tunio(
+    simulator: IOStackSimulator,
+    agents: TunIOAgents,
+    normalizer: PerfNormalizer,
+    space: ParameterSpace = TUNED_SPACE,
+    expected_runs: float | None = None,
+    rng: np.random.Generator | None = None,
+    **kwargs,
+) -> TunIOTuner:
+    """Assemble a TunIO pipeline from offline-trained agents."""
+    stopper = RLStopper(
+        agents.early_stopper, normalizer, expected_runs=expected_runs
+    )
+    return TunIOTuner(
+        simulator,
+        smart_config=agents.smart_config,
+        stopper=stopper,
+        space=space,
+        rng=rng,
+        **kwargs,
+    )
+
+
+@dataclass
+class TuningSession:
+    """A resumable tuning session (the paper's proposed "interactive
+    session feature where a configuration can be refined over time
+    across a series of runs").
+
+    The first :meth:`run` starts tuning; later calls continue from the
+    preserved GA population and clock, so a user can spend budget in
+    instalments.
+    """
+
+    tuner: HSTuner
+    workload: WorkloadLike
+    result: TuningResult | None = None
+
+    def run(self, iterations: int) -> TuningResult:
+        """Tune for up to ``iterations`` more iterations."""
+        if self.result is None:
+            self.result = self.tuner.tune(self.workload, max_iterations=iterations)
+        else:
+            self.result = self.tuner.resume(extra_iterations=iterations)
+        return self.result
+
+    @property
+    def best_perf(self) -> float:
+        if self.result is None:
+            raise RuntimeError("session has not run yet")
+        return self.result.best_perf

@@ -1,0 +1,76 @@
+"""Return on Tuning Investment (RoTI).
+
+The paper's cost/benefit metric::
+
+    RoTI(t) = (perf_achieved(t) - perf_achieved(0)) / t
+
+where ``perf_achieved(t)`` is the best ``perf`` (MB/s) reached by time
+``t`` (minutes of tuning overhead) and ``perf_achieved(0)`` is the
+default configuration's perf.  An RoTI of 40 means every minute spent
+tuning bought 40 MB/s of application bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tuners.base import TuningResult
+
+__all__ = ["roti", "RoTICurve", "roti_curve"]
+
+
+def roti(perf_at_t: float, perf_at_0: float, minutes: float) -> float:
+    """Point RoTI in (MB/s) per minute of tuning overhead."""
+    if minutes <= 0:
+        raise ValueError("minutes must be positive")
+    return (perf_at_t - perf_at_0) / minutes
+
+
+@dataclass(frozen=True)
+class RoTICurve:
+    """RoTI as a function of tuning time, derived from a tuning run."""
+
+    minutes: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.minutes.shape != self.values.shape or self.minutes.ndim != 1:
+            raise ValueError("minutes and values must be matching 1-D arrays")
+        if self.minutes.size == 0:
+            raise ValueError("empty curve")
+
+    @property
+    def peak(self) -> float:
+        """Maximum RoTI over the run."""
+        return float(self.values.max())
+
+    @property
+    def peak_minutes(self) -> float:
+        """Tuning time at which RoTI peaked."""
+        return float(self.minutes[int(self.values.argmax())])
+
+    @property
+    def final(self) -> float:
+        """RoTI at the end of the run (what the user actually got)."""
+        return float(self.values[-1])
+
+    def at_minutes(self, minutes: float) -> float:
+        """RoTI at (or just before) a given tuning time."""
+        idx = int(np.searchsorted(self.minutes, minutes, side="right")) - 1
+        if idx < 0:
+            raise ValueError(f"no RoTI data at or before {minutes} minutes")
+        return float(self.values[idx])
+
+
+def roti_curve(result: TuningResult) -> RoTICurve:
+    """RoTI per iteration of a tuning run (skipping zero-time points)."""
+    minutes = result.minutes_series()
+    perfs = result.perf_series()
+    mask = minutes > 0
+    if not mask.any():
+        raise ValueError("tuning result has no time-charged iterations")
+    minutes, perfs = minutes[mask], perfs[mask]
+    values = (perfs - result.baseline_perf) / minutes
+    return RoTICurve(minutes=minutes, values=values)

@@ -1,0 +1,127 @@
+"""``tunio-discover``: the CLI front-end of Application I/O Discovery.
+
+The paper: "TunIO ... provides a CLI tool for the Application I/O
+Discovery component.  This tool converts the source code to its
+equivalent I/O kernel, which the user can compile using their preferred
+method and use as a substitute for the application during the
+configuration evaluation phase."
+
+Usage::
+
+    tunio-discover app.c -o kernel.c
+    tunio-discover app.c --loop-reduction 0.01 --path-switch /dev/shm
+    tunio-discover app.c --explain          # annotated keep/drop listing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .kernel import DiscoveryOptions, discover_io
+from .marking import MarkingOptions
+from .reducers import BlindWriteRemoval, IOPathSwitching, LoopReduction, Reducer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tunio-discover",
+        description="Reduce an HPC application source to its I/O kernel.",
+    )
+    parser.add_argument("input", type=Path, help="C source file of the application")
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="kernel output path (default: <input>.kernel.c)",
+    )
+    parser.add_argument(
+        "--loop-reduction", type=float, default=None, metavar="FRACTION",
+        help="run only this fraction of I/O-loop iterations (e.g. 0.01)",
+    )
+    parser.add_argument(
+        "--path-switch", type=str, default=None, metavar="PREFIX",
+        help="prepend opened paths with a memory-backed prefix (e.g. /dev/shm)",
+    )
+    parser.add_argument(
+        "--remove-blind-writes", action="store_true",
+        help="drop H5Dwrite calls to datasets never read back (experimental)",
+    )
+    parser.add_argument(
+        "--io-prefix", action="append", default=None, metavar="PREFIX",
+        help="call-name prefix treated as I/O (default: H5; repeatable)",
+    )
+    parser.add_argument(
+        "--keep-region", action="append", default=None, metavar="START:END",
+        help="1-based inclusive line range kept verbatim (repeatable)",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print the annotated keep/drop listing instead of the kernel",
+    )
+    return parser
+
+
+def _parse_regions(specs: list[str] | None) -> tuple[tuple[int, int], ...]:
+    if not specs:
+        return ()
+    regions: list[tuple[int, int]] = []
+    for spec in specs:
+        try:
+            start_s, _, end_s = spec.partition(":")
+            start, end = int(start_s), int(end_s)
+        except ValueError:
+            raise SystemExit(f"invalid --keep-region {spec!r}; expected START:END")
+        regions.append((start - 1, end - 1))  # CLI is 1-based
+    return tuple(regions)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    try:
+        source = args.input.read_text()
+    except OSError as exc:
+        print(f"tunio-discover: cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+
+    marking = MarkingOptions(
+        io_prefixes=tuple(args.io_prefix) if args.io_prefix else ("H5",),
+        keep_regions=_parse_regions(args.keep_region),
+    )
+    reducers: list[Reducer] = []
+    if args.loop_reduction is not None:
+        reducers.append(LoopReduction(args.loop_reduction, io_prefixes=marking.io_prefixes))
+    if args.path_switch is not None:
+        reducers.append(IOPathSwitching(args.path_switch))
+    if args.remove_blind_writes:
+        reducers.append(BlindWriteRemoval())
+
+    kernel = discover_io(
+        source,
+        name=args.input.stem,
+        options=DiscoveryOptions(marking=marking, reducers=tuple(reducers)),
+    )
+
+    if args.explain:
+        print(kernel.explain(), end="")
+        return 0
+
+    output = args.output or args.input.with_suffix(".kernel.c")
+    output.write_text(kernel.source)
+    kept, total = kernel.kept_line_count, kernel.original_line_count
+    print(
+        f"tunio-discover: kept {kept}/{total} lines "
+        f"({100 * kernel.reduction_ratio:.1f}%) -> {output}"
+    )
+    if kernel.extrapolation_factor != 1.0:
+        print(
+            "tunio-discover: scalable I/O metrics must be multiplied by "
+            f"{kernel.extrapolation_factor:g}"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""Constant resolution: evaluate ``#define`` macros and simple constant
+expressions.
+
+Both the loop-reduction transform (to compute trip counts) and the
+workload model generator (to size datasets and loops) need to know the
+integer value of expressions like ``NP * 8`` where ``NP`` comes from a
+``#define``.  :class:`ConstantEnv` builds the macro table from a parsed
+source and evaluates integer expressions over it with a small recursive-
+descent evaluator (no ``eval``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .lexer import Token, TokenKind, tokenize
+from .parser import LineKind, ParsedSource
+
+__all__ = ["ConstantEnv", "UnresolvableExpression"]
+
+
+class UnresolvableExpression(ValueError):
+    """The expression references unknown identifiers or unsupported
+    syntax."""
+
+
+@dataclass
+class ConstantEnv:
+    """Integer-constant environment built from ``#define`` directives and
+    (optionally) ``const int``-style declarations with literal
+    initialisers."""
+
+    macros: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_parsed(cls, parsed: ParsedSource) -> "ConstantEnv":
+        env = cls()
+        for line in parsed.lines:
+            if line.kind != LineKind.DIRECTIVE:
+                continue
+            text = line.text.strip()
+            if not text.startswith("#define"):
+                continue
+            body = text[len("#define") :].strip()
+            parts = body.split(None, 1)
+            if len(parts) != 2:
+                continue
+            name, value = parts
+            if "(" in name:  # function-like macro: skip
+                continue
+            env.macros[name] = value.strip()
+        return env
+
+    def define(self, name: str, value: int | str) -> None:
+        self.macros[name] = str(value)
+
+    def resolve(self, expression: str, _depth: int = 0) -> int:
+        """Evaluate an integer constant expression (may reference macros,
+        recursively).  Raises :class:`UnresolvableExpression` otherwise."""
+        if _depth > 32:
+            raise UnresolvableExpression(f"macro recursion too deep in {expression!r}")
+        tokens = [t for t in tokenize(expression) if t.kind != TokenKind.EOF]
+        value, pos = self._parse_expr(tokens, 0, _depth)
+        if pos != len(tokens):
+            raise UnresolvableExpression(f"trailing tokens in {expression!r}")
+        return value
+
+    def try_resolve(self, expression: str) -> int | None:
+        """Like :meth:`resolve` but returns ``None`` on failure."""
+        try:
+            return self.resolve(expression)
+        except (UnresolvableExpression, Exception):
+            return None
+
+    # -- tiny recursive-descent evaluator: + - * / % and parens -----------------
+
+    def _parse_expr(self, toks: list[Token], pos: int, depth: int) -> tuple[int, int]:
+        value, pos = self._parse_term(toks, pos, depth)
+        while pos < len(toks) and toks[pos].text in ("+", "-"):
+            op = toks[pos].text
+            rhs, pos = self._parse_term(toks, pos + 1, depth)
+            value = value + rhs if op == "+" else value - rhs
+        return value, pos
+
+    def _parse_term(self, toks: list[Token], pos: int, depth: int) -> tuple[int, int]:
+        value, pos = self._parse_atom(toks, pos, depth)
+        while pos < len(toks) and toks[pos].text in ("*", "/", "%"):
+            op = toks[pos].text
+            rhs, pos = self._parse_atom(toks, pos + 1, depth)
+            if op == "*":
+                value *= rhs
+            elif op == "/":
+                if rhs == 0:
+                    raise UnresolvableExpression("division by zero")
+                value //= rhs
+            else:
+                if rhs == 0:
+                    raise UnresolvableExpression("modulo by zero")
+                value %= rhs
+        return value, pos
+
+    def _parse_atom(self, toks: list[Token], pos: int, depth: int) -> tuple[int, int]:
+        if pos >= len(toks):
+            raise UnresolvableExpression("unexpected end of expression")
+        tok = toks[pos]
+        if tok.text == "-":
+            value, pos = self._parse_atom(toks, pos + 1, depth)
+            return -value, pos
+        if tok.text == "(":
+            value, pos = self._parse_expr(toks, pos + 1, depth)
+            if pos >= len(toks) or toks[pos].text != ")":
+                raise UnresolvableExpression("unbalanced parentheses")
+            return value, pos + 1
+        if tok.kind == TokenKind.NUMBER:
+            text = tok.text.rstrip("uUlL")
+            try:
+                return (int(text, 16) if text.lower().startswith("0x") else int(text)), pos + 1
+            except ValueError:
+                raise UnresolvableExpression(f"non-integer literal {tok.text!r}") from None
+        if tok.kind == TokenKind.IDENT:
+            if tok.text not in self.macros:
+                raise UnresolvableExpression(f"unknown identifier {tok.text!r}")
+            return self.resolve(self.macros[tok.text], depth + 1), pos + 1
+        raise UnresolvableExpression(f"unsupported token {tok.text!r}")

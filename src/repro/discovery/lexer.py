@@ -1,0 +1,217 @@
+"""C tokenizer for the Application I/O Discovery component.
+
+The paper parses application sources with the Clang Python bindings; this
+reproduction ships its own lexer + structural parser.  The lexer turns C
+source into a token stream with line/column positions, skipping comments
+and preserving preprocessor directives as single DIRECTIVE tokens (the
+slicer keeps them wholesale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+__all__ = ["TokenKind", "Token", "tokenize", "LexError", "C_KEYWORDS"]
+
+
+class LexError(ValueError):
+    """Raised on malformed input (unterminated string/comment)."""
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    KEYWORD = auto()
+    NUMBER = auto()
+    STRING = auto()
+    CHAR = auto()
+    PUNCT = auto()
+    DIRECTIVE = auto()  # a whole preprocessor line
+    NEWLINE = auto()  # significant only inside directives; emitted per line
+    EOF = auto()
+
+
+C_KEYWORDS = frozenset(
+    """
+    auto break case char const continue default do double else enum extern
+    float for goto if inline int long register restrict return short signed
+    sizeof static struct switch typedef union unsigned void volatile while
+    _Bool _Complex _Imaginary
+    """.split()
+)
+
+# Multi-char operators, longest first so maximal munch works.
+_PUNCTUATORS = sorted(
+    [
+        "<<=", ">>=", "...",
+        "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+        "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+        "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", ".",
+        "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    ],
+    key=len,
+    reverse=True,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int  # 1-based source line
+    col: int  # 1-based column
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, L{self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize C source.  Comments are dropped; preprocessor lines
+    (including their continuations) become single DIRECTIVE tokens."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    at_line_start = True
+    while i < n:
+        ch = source[i]
+
+        # Whitespace
+        if ch in " \t\r":
+            advance(1)
+            continue
+        if ch == "\n":
+            advance(1)
+            at_line_start = True
+            continue
+
+        # Comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError(f"unterminated block comment at line {line}")
+            advance(end + 2 - i)
+            continue
+
+        # Preprocessor directive: swallow the whole (possibly continued) line
+        if ch == "#" and at_line_start:
+            start_line, start_col = line, col
+            parts: list[str] = []
+            while i < n:
+                j = source.find("\n", i)
+                if j == -1:
+                    j = n
+                segment = source[i:j]
+                advance(j - i)
+                if segment.rstrip().endswith("\\"):
+                    parts.append(segment.rstrip()[:-1])
+                    if i < n:
+                        advance(1)  # consume the newline
+                    continue
+                parts.append(segment)
+                break
+            tokens.append(
+                Token(TokenKind.DIRECTIVE, " ".join(p.strip() for p in parts), start_line, start_col)
+            )
+            at_line_start = True
+            continue
+
+        at_line_start = False
+
+        # String literal
+        if ch == '"':
+            start_line, start_col = line, col
+            j = i + 1
+            while j < n:
+                if source[j] == "\\":
+                    j += 2
+                    continue
+                if source[j] == '"':
+                    break
+                if source[j] == "\n":
+                    raise LexError(f"unterminated string literal at line {start_line}")
+                j += 1
+            else:
+                raise LexError(f"unterminated string literal at line {start_line}")
+            text = source[i : j + 1]
+            advance(j + 1 - i)
+            tokens.append(Token(TokenKind.STRING, text, start_line, start_col))
+            continue
+
+        # Char literal
+        if ch == "'":
+            start_line, start_col = line, col
+            j = i + 1
+            while j < n:
+                if source[j] == "\\":
+                    j += 2
+                    continue
+                if source[j] == "'":
+                    break
+                j += 1
+            else:
+                raise LexError(f"unterminated char literal at line {start_line}")
+            text = source[i : j + 1]
+            advance(j + 1 - i)
+            tokens.append(Token(TokenKind.CHAR, text, start_line, start_col))
+            continue
+
+        # Number (ints, floats, hex, suffixes)
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start_line, start_col = line, col
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and (source[j] in "0123456789abcdefABCDEF"):
+                    j += 1
+            else:
+                while j < n and (source[j].isdigit() or source[j] in ".eE"):
+                    if source[j] in "eE" and j + 1 < n and source[j + 1] in "+-":
+                        j += 1
+                    j += 1
+            while j < n and source[j] in "uUlLfF":
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token(TokenKind.NUMBER, text, start_line, start_col))
+            continue
+
+        # Identifier / keyword
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, col
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = TokenKind.KEYWORD if text in C_KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+
+        # Punctuator
+        for punct in _PUNCTUATORS:
+            if source.startswith(punct, i):
+                tokens.append(Token(TokenKind.PUNCT, punct, line, col))
+                advance(len(punct))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at line {line}, col {col}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,187 @@
+"""The marking loop: decide which lines belong to the I/O kernel.
+
+Implements the paper's algorithm (Section III-B, Figures 4-5) on the
+line-level structure from :mod:`.parser`:
+
+1. Find and mark every I/O call (HDF5 calls in the prototype), plus the
+   *essential* runtime calls without which the I/O cannot execute
+   (``MPI_Init``/``MPI_Finalize``).
+2. For every marked line, mark its **dependents**: the identifiers it
+   uses.  Whenever a variable is marked, a **backward traversal** marks
+   every line that assigns to it (in the same function, or globally).
+3. Mark the **contextual parents** of every kept line: the enclosing
+   loop/conditional/function headers and their braces; parents bring
+   their own dependents (loop bounds, conditions).
+4. Functions containing kept lines are kept callable: their heads,
+   closing braces, ``return`` statements and *call sites* are marked,
+   and the loop continues from those call sites.
+
+The loop iterates to a fixpoint.  Preprocessor directives are always
+kept.  Every kept line records *why* it was kept, which the tests and
+the CLI's ``--explain`` mode use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from .parser import LineKind, ParsedSource
+
+__all__ = ["MarkingOptions", "MarkingResult", "mark_lines"]
+
+#: Call-name prefixes treated as I/O in the prototype (HDF5).
+DEFAULT_IO_PREFIXES = ("H5",)
+
+#: Calls that must survive for the I/O to run at all.
+DEFAULT_ESSENTIAL_CALLS = ("MPI_Init", "MPI_Finalize")
+
+
+@dataclass(frozen=True)
+class MarkingOptions:
+    """Tuning knobs of the marking loop.
+
+    ``keep_regions`` supports the paper's "manually indicated keep
+    regions" option: inclusive (start, end) line-index ranges kept
+    verbatim.
+    """
+
+    io_prefixes: tuple[str, ...] = DEFAULT_IO_PREFIXES
+    essential_calls: tuple[str, ...] = DEFAULT_ESSENTIAL_CALLS
+    keep_regions: tuple[tuple[int, int], ...] = ()
+
+    def is_io_call(self, name: str) -> bool:
+        return name.startswith(self.io_prefixes)
+
+
+@dataclass
+class MarkingResult:
+    """Outcome of the marking loop."""
+
+    kept: set[int]
+    #: line index -> first reason it was marked (diagnostic).
+    reasons: dict[int, str]
+    #: Names of functions that contain kept code.
+    live_functions: set[str] = field(default_factory=set)
+
+    def kept_sorted(self) -> list[int]:
+        return sorted(self.kept)
+
+
+def mark_lines(
+    parsed: ParsedSource, options: MarkingOptions | None = None
+) -> MarkingResult:
+    """Run the marking loop to fixpoint and return the kept-line set."""
+    opts = options or MarkingOptions()
+    lines = parsed.lines
+    kept: set[int] = set()
+    reasons: dict[int, str] = {}
+    worklist: list[int] = []
+
+    # Index: (function scope, variable) -> defining lines.  Global-scope
+    # definitions (func None) are visible everywhere.
+    def_index: dict[tuple[str | None, str], list[int]] = {}
+    for line in lines:
+        for name in line.defs:
+            def_index.setdefault((line.func, name), []).append(line.index)
+
+    def keep(idx: int, reason: str) -> None:
+        if idx in kept:
+            return
+        kept.add(idx)
+        reasons[idx] = reason
+        worklist.append(idx)
+
+    # -- seeds -----------------------------------------------------------------
+    for line in lines:
+        if line.kind == LineKind.DIRECTIVE:
+            keep(line.index, "directive")
+            continue
+        for call in line.calls:
+            if opts.is_io_call(call.name):
+                keep(line.index, f"io-call:{call.name}")
+            elif call.name in opts.essential_calls:
+                keep(line.index, f"essential:{call.name}")
+    for start, end in opts.keep_regions:
+        if start > end:
+            raise ValueError(f"invalid keep region ({start}, {end})")
+        for idx in range(start, end + 1):
+            if 0 <= idx < len(lines):
+                keep(idx, "keep-region")
+
+    # -- fixpoint --------------------------------------------------------------
+    def mark_variable(name: str, scope: str | None, origin: int) -> None:
+        """Backward traversal: keep every assignment to ``name`` visible
+        from ``scope``."""
+        for key in ((scope, name), (None, name)):
+            for def_line in def_index.get(key, ()):
+                keep(def_line, f"backward-slice:{name}<-L{origin}")
+
+    while worklist:
+        idx = worklist.pop()
+        line = lines[idx]
+        if line.kind in (LineKind.DIRECTIVE, LineKind.BLANK):
+            continue
+
+        # Dependents: everything this line reads.
+        for name in line.uses:
+            mark_variable(name, line.func, idx)
+        # Loop headers also *define* their induction variable on the
+        # header line itself; nothing extra needed (defs live here).
+
+        # Contextual parents: enclosing headers with their braces.
+        for header_idx in parsed.enclosing_headers(idx):
+            header = lines[header_idx]
+            keep(header_idx, f"parent-of:L{idx}")
+            if header.block_open is not None:
+                keep(header.block_open, f"brace-of:L{header_idx}")
+            if header.block_close is not None:
+                keep(header.block_close, f"brace-of:L{header_idx}")
+            # `else` requires its `if`; `if` kept alone is fine.
+            if header.kind == LineKind.ELSE:
+                if_idx = _matching_if(parsed, header_idx)
+                if if_idx is not None:
+                    keep(if_idx, f"if-of-else:L{header_idx}")
+                    if_line = lines[if_idx]
+                    if if_line.block_open is not None:
+                        keep(if_line.block_open, f"brace-of:L{if_idx}")
+                    if if_line.block_close is not None:
+                        keep(if_line.block_close, f"brace-of:L{if_idx}")
+
+        # Keep the enclosing function callable.
+        if line.func is not None and line.func in parsed.functions:
+            fn = parsed.functions[line.func]
+            if fn.head != idx:
+                keep(fn.head, f"function-of:L{idx}")
+            if fn.block_open >= 0:
+                keep(fn.block_open, f"brace-of:L{fn.head}")
+            if fn.block_close >= 0:
+                keep(fn.block_close, f"brace-of:L{fn.head}")
+            # Return statements keep the function well-formed.
+            for body_idx in range(fn.head, fn.block_close + 1 if fn.block_close >= 0 else fn.head + 1):
+                if lines[body_idx].kind == LineKind.RETURN:
+                    keep(body_idx, f"return-of:{fn.name}")
+            # The kernel must still *call* the function.
+            if fn.name != "main":
+                for site in parsed.call_sites.get(fn.name, ()):
+                    keep(site, f"call-site-of:{fn.name}")
+
+    live_functions = {
+        lines[i].func for i in kept if lines[i].func is not None  # type: ignore[misc]
+    }
+    return MarkingResult(kept=kept, reasons=reasons, live_functions=live_functions)
+
+
+def _matching_if(parsed: ParsedSource, else_idx: int) -> int | None:
+    """Find the IF header whose block immediately precedes an ELSE."""
+    lines = parsed.lines
+    # Scan backwards over the `}` that closes the if-branch.
+    for idx in range(else_idx - 1, -1, -1):
+        line = lines[idx]
+        if line.kind == LineKind.BLANK:
+            continue
+        if line.kind == LineKind.BRACE_CLOSE:
+            # Whose block is this?
+            for cand in range(idx - 1, -1, -1):
+                if lines[cand].block_close == idx:
+                    return cand if lines[cand].kind == LineKind.IF else None
+        return None
+    return None

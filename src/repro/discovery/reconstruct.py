@@ -1,0 +1,35 @@
+"""Kernel reconstruction: emit compilable source from the kept lines.
+
+After marking, the kernel is simply the kept lines in original order.
+Because the marking loop keeps headers together with both their braces
+and every dependent assignment, the result is well-formed C; bodies that
+lost all their statements become legal empty blocks.
+"""
+
+from __future__ import annotations
+
+from .marking import MarkingResult
+from .parser import ParsedSource
+
+__all__ = ["reconstruct_kernel", "annotate_source"]
+
+
+def reconstruct_kernel(parsed: ParsedSource, marking: MarkingResult) -> str:
+    """Source text of the I/O kernel (kept lines, original order)."""
+    out = [parsed.lines[i].text for i in marking.kept_sorted()]
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def annotate_source(parsed: ParsedSource, marking: MarkingResult) -> str:
+    """The full source with per-line keep/drop markers and reasons --
+    the CLI's ``--explain`` output, mirroring the paper's Figure 5."""
+    rows: list[str] = []
+    for line in parsed.lines:
+        if line.index in marking.kept:
+            tag = "KEEP"
+            why = marking.reasons.get(line.index, "")
+        else:
+            tag = "drop"
+            why = ""
+        rows.append(f"{line.index + 1:4d} {tag:4s} | {line.text:<80s} {why}")
+    return "\n".join(rows) + "\n"

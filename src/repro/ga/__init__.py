@@ -1,0 +1,33 @@
+"""A small evolutionary-algorithm framework (the reproduction's DEAP).
+
+Provides integer-genome individuals, masked crossover/mutation operators,
+the paper's tournament + elitism selection scheme, a DEAP-style toolbox
+and a generational engine the tuning pipelines drive one step at a time.
+"""
+
+from .engine import EvolutionEngine, GenerationStats
+from .individual import Individual
+from .operators import (
+    apply_mask,
+    indexed_mutation,
+    one_point_crossover,
+    uniform_crossover,
+    uniform_reset_mutation,
+)
+from .selection import elites, tournament_pair, tournament_selection
+from .toolbox import Toolbox
+
+__all__ = [
+    "EvolutionEngine",
+    "GenerationStats",
+    "Individual",
+    "apply_mask",
+    "indexed_mutation",
+    "one_point_crossover",
+    "uniform_crossover",
+    "uniform_reset_mutation",
+    "elites",
+    "tournament_pair",
+    "tournament_selection",
+    "Toolbox",
+]

@@ -1,0 +1,133 @@
+"""Variation operators: crossover and mutation over integer genomes.
+
+All operators take and return :class:`~repro.ga.individual.Individual`
+objects and never modify their inputs.  Each accepts an optional ``mask``
+-- a boolean vector marking the genome positions that may vary.  The
+mask is how Impact-First tuning confines the search to the RL-selected
+parameter subset: unmasked genes are copied from the incumbent and left
+untouched by crossover and mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .individual import Individual
+
+__all__ = [
+    "uniform_crossover",
+    "one_point_crossover",
+    "indexed_mutation",
+    "uniform_reset_mutation",
+    "apply_mask",
+]
+
+#: A neighbour function: (gene position, current index, rng) -> new index.
+NeighborFn = Callable[[int, int, np.random.Generator], int]
+
+
+def _validate_pair(a: Individual, b: Individual) -> None:
+    if a.genome.size != b.genome.size:
+        raise ValueError("parents have different genome lengths")
+
+
+def _as_mask(mask: Sequence[bool] | np.ndarray | None, size: int) -> np.ndarray:
+    if mask is None:
+        return np.ones(size, dtype=bool)
+    arr = np.asarray(mask, dtype=bool)
+    if arr.shape != (size,):
+        raise ValueError(f"mask shape {arr.shape} does not match genome size {size}")
+    return arr
+
+
+def uniform_crossover(
+    a: Individual,
+    b: Individual,
+    rng: np.random.Generator,
+    swap_probability: float = 0.5,
+    mask: Sequence[bool] | np.ndarray | None = None,
+) -> tuple[Individual, Individual]:
+    """Exchange each masked gene between the parents with probability
+    ``swap_probability``; unmasked genes are inherited unchanged."""
+    _validate_pair(a, b)
+    if not 0.0 <= swap_probability <= 1.0:
+        raise ValueError("swap_probability must be in [0, 1]")
+    m = _as_mask(mask, a.genome.size)
+    swap = (rng.random(a.genome.size) < swap_probability) & m
+    ga, gb = a.genome.copy(), b.genome.copy()
+    ga[swap], gb[swap] = gb[swap], ga[swap]
+    return Individual(ga), Individual(gb)
+
+
+def one_point_crossover(
+    a: Individual,
+    b: Individual,
+    rng: np.random.Generator,
+    mask: Sequence[bool] | np.ndarray | None = None,
+) -> tuple[Individual, Individual]:
+    """Classic single cut point, restricted to masked positions."""
+    _validate_pair(a, b)
+    m = _as_mask(mask, a.genome.size)
+    point = int(rng.integers(1, a.genome.size)) if a.genome.size > 1 else 0
+    swap = np.zeros(a.genome.size, dtype=bool)
+    swap[point:] = True
+    swap &= m
+    ga, gb = a.genome.copy(), b.genome.copy()
+    ga[swap], gb[swap] = gb[swap], ga[swap]
+    return Individual(ga), Individual(gb)
+
+
+def indexed_mutation(
+    ind: Individual,
+    rng: np.random.Generator,
+    neighbor: NeighborFn,
+    per_gene_probability: float = 0.2,
+    mask: Sequence[bool] | np.ndarray | None = None,
+) -> Individual:
+    """Mutate each masked gene with the given probability via a
+    parameter-aware neighbour function (ordinal parameters drift to
+    adjacent candidate values; categorical ones re-draw)."""
+    if not 0.0 <= per_gene_probability <= 1.0:
+        raise ValueError("per_gene_probability must be in [0, 1]")
+    m = _as_mask(mask, ind.genome.size)
+    genome = ind.genome.copy()
+    hits = (rng.random(genome.size) < per_gene_probability) & m
+    for pos in np.flatnonzero(hits):
+        genome[pos] = neighbor(int(pos), int(genome[pos]), rng)
+    return Individual(genome)
+
+
+def uniform_reset_mutation(
+    ind: Individual,
+    rng: np.random.Generator,
+    cardinalities: Sequence[int],
+    per_gene_probability: float = 0.1,
+    mask: Sequence[bool] | np.ndarray | None = None,
+) -> Individual:
+    """Re-draw each masked gene uniformly from its candidate range with
+    the given probability (pure exploration; no ordinal structure)."""
+    cards = np.asarray(cardinalities, dtype=np.int64)
+    if cards.shape != (ind.genome.size,):
+        raise ValueError("cardinalities must match genome length")
+    if np.any(cards < 1):
+        raise ValueError("cardinalities must be >= 1")
+    m = _as_mask(mask, ind.genome.size)
+    genome = ind.genome.copy()
+    hits = (rng.random(genome.size) < per_gene_probability) & m
+    for pos in np.flatnonzero(hits):
+        genome[pos] = int(rng.integers(cards[pos]))
+    return Individual(genome)
+
+
+def apply_mask(
+    offspring: Individual, incumbent: Individual, mask: Sequence[bool] | np.ndarray
+) -> Individual:
+    """Force unmasked genes of ``offspring`` back to the incumbent's
+    values.  Used when entering a new subset-tuning iteration: genes
+    outside the active subset are pinned to the best configuration found
+    so far."""
+    m = _as_mask(mask, offspring.genome.size)
+    genome = np.where(m, offspring.genome, incumbent.genome)
+    return Individual(genome)

@@ -1,0 +1,50 @@
+"""Simulated HPC I/O stack: parameters, configurations, layer models,
+platform descriptions and the run simulator.
+
+This package is the reproduction's substitute for the paper's physical
+testbed (Cori + Lustre + HDF5/MPI-IO).  See DESIGN.md section 2 for the
+substitution rationale.
+"""
+
+from .clock import SimulatedClock
+from .cluster import Platform, cori, testbed
+from .config import StackConfiguration, from_xml, to_xml
+from .darshan import DarshanReport, PhaseRecord
+from .noise import NoiseModel
+from .parameters import (
+    LIBRARY_CATALOG,
+    TUNED_SPACE,
+    LibraryCatalog,
+    Parameter,
+    ParameterSpace,
+    stack_permutations,
+)
+from .phase import IOPhase
+from .requests import MAX_SAMPLE, MetadataStream, RequestStream
+from .simulator import EvaluationResult, IOStackSimulator, WorkloadLike
+
+__all__ = [
+    "SimulatedClock",
+    "Platform",
+    "cori",
+    "testbed",
+    "StackConfiguration",
+    "from_xml",
+    "to_xml",
+    "DarshanReport",
+    "PhaseRecord",
+    "NoiseModel",
+    "LIBRARY_CATALOG",
+    "TUNED_SPACE",
+    "LibraryCatalog",
+    "Parameter",
+    "ParameterSpace",
+    "stack_permutations",
+    "IOPhase",
+    "MAX_SAMPLE",
+    "MetadataStream",
+    "RequestStream",
+    "EvaluationResult",
+    "IOStackSimulator",
+    "WorkloadLike",
+]

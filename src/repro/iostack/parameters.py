@@ -1,0 +1,392 @@
+"""Parameter definitions for the simulated HPC I/O stack.
+
+Two distinct things live here:
+
+* :data:`TUNED_SPACE` -- the 12 parameters across HDF5, MPI-IO and Lustre
+  that the paper tunes (sieve_buf_size, chunk_cache, alignment,
+  meta_block_size, colmeta_ops, mdc_conf, coll_metadata_write,
+  striping_factor, striping_unit, cb_nodes, cb_buffer_size, plus the
+  collective-I/O toggle the paper's HDF5/MPI-IO coordination example
+  implies).  With the candidate value sets below the full space has
+  ~2.4 billion permutations, matching the paper's "over 2.18 billion".
+
+* :data:`LIBRARY_CATALOG` -- per-library parameter *counts* used only to
+  regenerate Figure 1 (search-space growth across stack compositions),
+  using the paper's lower bound of two values per discrete parameter and
+  five per continuous parameter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .units import KiB, MiB, GiB
+
+__all__ = [
+    "Parameter",
+    "ParameterSpace",
+    "LibraryCatalog",
+    "TUNED_SPACE",
+    "LIBRARY_CATALOG",
+    "stack_permutations",
+]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One tunable knob of the I/O stack.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"striping_factor"``.
+    layer:
+        Which stack layer consumes it: ``"hdf5"``, ``"mpiio"`` or
+        ``"lustre"``.
+    values:
+        The ordered candidate values explored during tuning.  Ordering
+        matters: the genome encodes a parameter as its index into this
+        tuple, and mutation moves to nearby indices for ordinal
+        parameters.
+    default:
+        The untuned (library default) value; must be a member of
+        ``values``.
+    kind:
+        ``"ordinal"`` (sizes/counts with a natural order), ``"boolean"``
+        or ``"categorical"``.
+    description:
+        Human-readable summary for reports.
+    """
+
+    name: str
+    layer: str
+    values: tuple[Any, ...]
+    default: Any
+    kind: str = "ordinal"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"parameter {self.name!r} has no candidate values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"parameter {self.name!r} has duplicate values")
+        if self.default not in self.values:
+            raise ValueError(
+                f"default {self.default!r} of parameter {self.name!r} is not a "
+                f"candidate value"
+            )
+        if self.kind not in ("ordinal", "boolean", "categorical"):
+            raise ValueError(f"unknown parameter kind {self.kind!r}")
+        if self.layer not in ("hdf5", "mpiio", "lustre"):
+            raise ValueError(f"unknown layer {self.layer!r}")
+
+    @property
+    def cardinality(self) -> int:
+        """Number of candidate values."""
+        return len(self.values)
+
+    @property
+    def default_index(self) -> int:
+        """Index of the default value in :attr:`values`."""
+        return self.values.index(self.default)
+
+    def index_of(self, value: Any) -> int:
+        """Index of ``value`` in :attr:`values` (raises ``ValueError`` if
+        the value is not a candidate)."""
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"{value!r} is not a candidate value of parameter {self.name!r}"
+            ) from None
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        """Draw a uniformly random candidate value."""
+        return self.values[int(rng.integers(self.cardinality))]
+
+    def neighbor_index(self, index: int, rng: np.random.Generator) -> int:
+        """Mutate an index: ordinal parameters step to an adjacent value
+        (95% of the time) or, rarely, jump uniformly -- the rare long
+        jump is what lets a run escape a mid-tuning plateau late, the
+        dynamic Figure 10(a) shows; boolean/categorical parameters
+        re-draw uniformly among the other values."""
+        if not 0 <= index < self.cardinality:
+            raise IndexError(f"index {index} out of range for {self.name!r}")
+        if self.cardinality == 1:
+            return index
+        if self.kind == "ordinal" and rng.random() < 0.95:
+            step = 1 if rng.random() < 0.5 else -1
+            return int(np.clip(index + step, 0, self.cardinality - 1))
+        choices = [i for i in range(self.cardinality) if i != index]
+        return int(choices[int(rng.integers(len(choices)))])
+
+
+class ParameterSpace:
+    """An ordered, immutable collection of :class:`Parameter` objects.
+
+    Provides genome encoding (value <-> index vectors), permutation
+    counting, uniform sampling, and subspace selection -- everything the
+    GA and the RL subset picker need.
+    """
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names in space")
+        self._params: tuple[Parameter, ...] = tuple(parameters)
+        self._by_name: dict[str, Parameter] = {p.name: p for p in self._params}
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._params)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, key: str | int) -> Parameter:
+        if isinstance(key, int):
+            return self._params[key]
+        return self._by_name[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ParameterSpace):
+            return NotImplemented
+        return self._params == other._params
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ParameterSpace({[p.name for p in self._params]})"
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Parameter names in genome order."""
+        return tuple(p.name for p in self._params)
+
+    @property
+    def cardinalities(self) -> tuple[int, ...]:
+        """Candidate-value counts in genome order."""
+        return tuple(p.cardinality for p in self._params)
+
+    def index_of_name(self, name: str) -> int:
+        """Genome position of the parameter called ``name``."""
+        for i, p in enumerate(self._params):
+            if p.name == name:
+                return i
+        raise KeyError(name)
+
+    # -- search-space size ---------------------------------------------------
+
+    def permutations(self) -> int:
+        """Exact number of distinct configurations in this space."""
+        return math.prod(p.cardinality for p in self._params)
+
+    # -- configuration construction -------------------------------------------
+
+    def default_values(self) -> dict[str, Any]:
+        """Mapping of every parameter to its library-default value."""
+        return {p.name: p.default for p in self._params}
+
+    def random_values(self, rng: np.random.Generator) -> dict[str, Any]:
+        """Mapping of every parameter to a uniformly random candidate."""
+        return {p.name: p.sample(rng) for p in self._params}
+
+    # -- genome encoding -------------------------------------------------------
+
+    def encode(self, values: Mapping[str, Any]) -> np.ndarray:
+        """Encode a name->value mapping as an int index vector in genome
+        order.  Missing parameters take their default index."""
+        out = np.empty(len(self._params), dtype=np.int64)
+        for i, p in enumerate(self._params):
+            out[i] = p.index_of(values[p.name]) if p.name in values else p.default_index
+        return out
+
+    def decode(self, indices: Sequence[int]) -> dict[str, Any]:
+        """Inverse of :meth:`encode`."""
+        if len(indices) != len(self._params):
+            raise ValueError(
+                f"genome length {len(indices)} != space size {len(self._params)}"
+            )
+        return {p.name: p.values[int(i)] for p, i in zip(self._params, indices)}
+
+    def normalized(self, indices: Sequence[int]) -> np.ndarray:
+        """Map an index vector to [0, 1]^n (index / (cardinality-1)); used
+        as NN features.  Parameters with a single value map to 0."""
+        out = np.empty(len(self._params), dtype=np.float64)
+        for j, (p, i) in enumerate(zip(self._params, indices)):
+            out[j] = 0.0 if p.cardinality == 1 else int(i) / (p.cardinality - 1)
+        return out
+
+    # -- subspaces ---------------------------------------------------------------
+
+    def subset(self, names: Sequence[str]) -> "ParameterSpace":
+        """A new space containing only ``names``, preserving this space's
+        order (not the order of ``names``)."""
+        wanted = set(names)
+        unknown = wanted - set(self.names)
+        if unknown:
+            raise KeyError(f"unknown parameters: {sorted(unknown)}")
+        return ParameterSpace([p for p in self._params if p.name in wanted])
+
+
+def _build_tuned_space() -> ParameterSpace:
+    return ParameterSpace(
+        [
+            Parameter(
+                "sieve_buf_size",
+                "hdf5",
+                (64 * KiB, 256 * KiB, 512 * KiB, MiB, 4 * MiB, 16 * MiB, 32 * MiB, 64 * MiB),
+                default=64 * KiB,
+                description="HDF5 data-sieving buffer size (H5Pset_sieve_buf_size)",
+            ),
+            Parameter(
+                "chunk_cache_size",
+                "hdf5",
+                (MiB, 4 * MiB, 16 * MiB, 64 * MiB, 128 * MiB, 256 * MiB, 512 * MiB, GiB),
+                default=MiB,
+                description="HDF5 raw-data chunk cache size (H5Pset_cache)",
+            ),
+            Parameter(
+                "alignment",
+                "hdf5",
+                (1, 64 * KiB, 256 * KiB, 512 * KiB, MiB, 2 * MiB, 4 * MiB, 8 * MiB, 16 * MiB),
+                default=1,
+                description="HDF5 object alignment threshold (H5Pset_alignment)",
+            ),
+            Parameter(
+                "meta_block_size",
+                "hdf5",
+                (2 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, MiB, 2 * MiB, 4 * MiB, 16 * MiB),
+                default=2 * KiB,
+                description="HDF5 metadata block aggregation size (H5Pset_meta_block_size)",
+            ),
+            Parameter(
+                "coll_metadata_ops",
+                "hdf5",
+                (False, True),
+                default=False,
+                kind="boolean",
+                description="Collective HDF5 metadata reads (H5Pset_all_coll_metadata_ops)",
+            ),
+            Parameter(
+                "mdc_config",
+                "hdf5",
+                ("default", "small", "large", "adaptive"),
+                default="default",
+                kind="categorical",
+                description="HDF5 metadata cache configuration (H5Pset_mdc_config)",
+            ),
+            Parameter(
+                "coll_metadata_write",
+                "hdf5",
+                (False, True),
+                default=False,
+                kind="boolean",
+                description="Collective HDF5 metadata writes (H5Pset_coll_metadata_write)",
+            ),
+            Parameter(
+                "striping_factor",
+                "lustre",
+                (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 248),
+                default=1,
+                description="Lustre stripe count (number of OSTs a file spans)",
+            ),
+            Parameter(
+                "striping_unit",
+                "lustre",
+                (128 * KiB, 256 * KiB, 512 * KiB, MiB, 2 * MiB, 4 * MiB, 8 * MiB, 16 * MiB),
+                default=MiB,
+                description="Lustre stripe size",
+            ),
+            Parameter(
+                "cb_nodes",
+                "mpiio",
+                (1, 2, 4, 8, 16, 32, 64, 128, 256, 384, 512, 640, 768, 896, 1024, 1600),
+                default=4,
+                description="ROMIO two-phase collective-buffering aggregator count",
+            ),
+            Parameter(
+                "cb_buffer_size",
+                "mpiio",
+                (MiB, 2 * MiB, 4 * MiB, 8 * MiB, 16 * MiB, 32 * MiB, 64 * MiB, 128 * MiB),
+                default=16 * MiB,
+                description="ROMIO collective buffer size per aggregator",
+            ),
+            Parameter(
+                "romio_collective",
+                "mpiio",
+                (False, True),
+                default=False,
+                kind="boolean",
+                description="Enable two-phase collective I/O (romio_cb_write/read)",
+            ),
+        ]
+    )
+
+
+#: The 12-parameter space tuned throughout the paper's evaluation.
+TUNED_SPACE: ParameterSpace = _build_tuned_space()
+
+
+@dataclass(frozen=True)
+class LibraryCatalog:
+    """Parameter *counts* of a real I/O library, used for Figure 1.
+
+    The counts are lower bounds drawn from each library's public
+    configuration surface; Figure 1 only needs relative magnitudes.
+    """
+
+    name: str
+    discrete: int
+    continuous: int
+
+    def permutations(
+        self, per_discrete: int = 2, per_continuous: int = 5
+    ) -> int:
+        """Lower-bound permutation count with the paper's rule of two
+        values per discrete parameter and five per continuous one."""
+        if per_discrete < 1 or per_continuous < 1:
+            raise ValueError("value counts must be >= 1")
+        return per_discrete**self.discrete * per_continuous**self.continuous
+
+    @property
+    def total_parameters(self) -> int:
+        return self.discrete + self.continuous
+
+
+#: Figure 1's library population.  Counts are conservative lower bounds on
+#: each library's user-visible tunables.
+LIBRARY_CATALOG: dict[str, LibraryCatalog] = {
+    c.name: c
+    for c in (
+        LibraryCatalog("HDF5", discrete=27, continuous=6),
+        LibraryCatalog("PNetCDF", discrete=12, continuous=4),
+        LibraryCatalog("MPI", discrete=22, continuous=3),
+        LibraryCatalog("ADIOS", discrete=18, continuous=5),
+        LibraryCatalog("OpenSHMEMX", discrete=10, continuous=2),
+        LibraryCatalog("Hermes", discrete=14, continuous=6),
+    )
+}
+
+
+def stack_permutations(
+    libraries: Sequence[str], per_discrete: int = 2, per_continuous: int = 5
+) -> int:
+    """Permutation count of a stack composed of ``libraries`` (Figure 1's
+    worst case where every layer's parameters multiply)."""
+    total = 1
+    for name in libraries:
+        try:
+            catalog = LIBRARY_CATALOG[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown library {name!r}; known: {sorted(LIBRARY_CATALOG)}"
+            ) from None
+        total *= catalog.permutations(per_discrete, per_continuous)
+    return total

@@ -1,0 +1,49 @@
+"""POSIX / node-local memory tier model.
+
+Two roles:
+
+* Serving streams that I/O path switching redirected to ``/dev/shm``:
+  node-local memory bandwidth, no RPCs, no lock contention -- fast but
+  blind to Lustre parameters (which is exactly the accuracy trade-off the
+  paper describes for path switching).
+* Accounting the per-operation syscall cost that every stream pays
+  regardless of tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cluster import Platform
+from .requests import MetadataStream, RequestStream
+
+__all__ = ["MemoryService", "serve_memory", "serve_memory_metadata"]
+
+
+@dataclass(frozen=True)
+class MemoryService:
+    """Timing for one stream served from node-local memory."""
+
+    seconds: float
+    achieved_bandwidth: float
+
+
+def serve_memory(stream: RequestStream, platform: Platform) -> MemoryService:
+    """Service time for a stream against tmpfs (/dev/shm).
+
+    Bandwidth scales with the nodes the issuing processes occupy; each
+    operation still pays the syscall + page-cache overhead.
+    """
+    nodes = stream.nodes_spanned(platform.n_nodes, platform.procs_per_node)
+    bandwidth = nodes * platform.memory_bandwidth
+    transfer = stream.total_bytes / bandwidth
+    issue = stream.total_ops * platform.syscall_overhead / max(1, stream.n_procs)
+    seconds = transfer + issue
+    return MemoryService(seconds=seconds, achieved_bandwidth=stream.total_bytes / seconds)
+
+
+def serve_memory_metadata(metadata: MetadataStream | None, platform: Platform) -> float:
+    """Metadata against tmpfs: in-memory dentry operations, no MDS."""
+    if metadata is None or metadata.total_ops == 0:
+        return 0.0
+    return metadata.ops_per_proc * platform.syscall_overhead * 2.0

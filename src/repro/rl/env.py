@@ -1,0 +1,77 @@
+"""Gym-style environment interface (the reproduction's OpenAI Gym).
+
+The paper wires its Keras agents to OpenAI Gym environments; this module
+provides the same ``reset``/``step`` contract plus the two space types
+the agents need (discrete action sets and box observations), so agent
+code reads exactly like Gym-based code.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Discrete", "Box", "Env"]
+
+
+@dataclass(frozen=True)
+class Discrete:
+    """``n`` actions labelled ``0 .. n-1``."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("a Discrete space needs n >= 1")
+
+    def contains(self, action: int) -> bool:
+        return isinstance(action, (int, np.integer)) and 0 <= int(action) < self.n
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.n))
+
+
+@dataclass(frozen=True)
+class Box:
+    """Real-valued vectors with elementwise bounds."""
+
+    low: float
+    high: float
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError("low must be <= high")
+        if any(d < 1 for d in self.shape):
+            raise ValueError("shape dims must be positive")
+
+    def contains(self, obs: np.ndarray) -> bool:
+        obs = np.asarray(obs)
+        return obs.shape == self.shape and bool(
+            np.all(obs >= self.low) and np.all(obs <= self.high)
+        )
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=self.shape)
+
+
+class Env(abc.ABC):
+    """Minimal Gym environment contract.
+
+    Subclasses set :attr:`observation_space` and :attr:`action_space`
+    and implement :meth:`reset` / :meth:`step`.
+    """
+
+    observation_space: Box
+    action_space: Discrete
+
+    @abc.abstractmethod
+    def reset(self, rng: np.random.Generator) -> np.ndarray:
+        """Start a new episode; returns the initial observation."""
+
+    @abc.abstractmethod
+    def step(self, action: int) -> tuple[np.ndarray, float, bool, dict[str, Any]]:
+        """Apply an action; returns (observation, reward, done, info)."""

@@ -1,0 +1,124 @@
+"""Experience replay and the paper's delayed-reward mechanism.
+
+Both TunIO agents "utilize a 5-iteration delay on the reward function to
+avoid bias introduced by short-term gains": the reward credited to the
+decision made at iteration *t* is computed from what is known at
+iteration *t + 5*.  :class:`DelayedRewardBuffer` holds pending
+transitions until their reward matures, then releases them into a
+standard :class:`ReplayBuffer` for minibatch training.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = ["Transition", "ReplayBuffer", "DelayedRewardBuffer"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (s, a, r, s', done) tuple."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+class ReplayBuffer:
+    """Bounded FIFO store with uniform minibatch sampling."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._buf: deque[Transition] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def push(self, transition: Transition) -> None:
+        self._buf.append(transition)
+
+    def extend(self, transitions: Iterable[Transition]) -> None:
+        for t in transitions:
+            self.push(t)
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> list[Transition]:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if not self._buf:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = rng.integers(len(self._buf), size=min(batch_size, len(self._buf)))
+        return [self._buf[int(i)] for i in idx]
+
+    def clear(self) -> None:
+        self._buf.clear()
+
+
+@dataclass
+class _Pending:
+    state: np.ndarray
+    action: int
+    #: Iteration at which the decision was made.
+    born_at: int
+
+
+class DelayedRewardBuffer:
+    """Matures rewards ``delay`` iterations after the decision.
+
+    Usage: call :meth:`remember` when the agent acts, then call
+    :meth:`mature` every iteration with the current iteration index and a
+    reward function; transitions whose delay has elapsed are emitted with
+    a reward computed *now* (from the performance trajectory since the
+    decision), which is exactly the paper's bias-avoidance scheme.
+    """
+
+    def __init__(self, delay: int = 5):
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        self.delay = delay
+        self._pending: deque[_Pending] = deque()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def remember(self, state: np.ndarray, action: int, iteration: int) -> None:
+        self._pending.append(_Pending(np.asarray(state, dtype=float), action, iteration))
+
+    def mature(
+        self,
+        iteration: int,
+        reward_fn: Callable[[int, int], float],
+        next_state: np.ndarray,
+        done: bool = False,
+    ) -> list[Transition]:
+        """Release transitions whose reward has matured.
+
+        ``reward_fn(born_at, iteration)`` computes the delayed reward for
+        a decision made at ``born_at`` as seen from ``iteration``.  On
+        ``done``, everything pending matures immediately (episode over).
+        """
+        out: list[Transition] = []
+        next_state = np.asarray(next_state, dtype=float)
+        while self._pending and (
+            done or iteration - self._pending[0].born_at >= self.delay
+        ):
+            p = self._pending.popleft()
+            out.append(
+                Transition(
+                    state=p.state,
+                    action=p.action,
+                    reward=float(reward_fn(p.born_at, iteration)),
+                    next_state=next_state,
+                    done=done,
+                )
+            )
+        return out
+
+    def clear(self) -> None:
+        self._pending.clear()

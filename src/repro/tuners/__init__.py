@@ -1,0 +1,42 @@
+"""Tuning pipelines: the Tuner protocol, iteration records, stopping
+strategies, the HSTuner GA baseline and application-lifecycle analysis.
+
+TunIO itself (HSTuner + the three AI components) lives in
+:mod:`repro.core`.
+"""
+
+from .base import IterationRecord, Tuner, TuningResult
+from .hstuner import HSTuner
+from .lifecycle import (
+    LifecycleModel,
+    crossover_point,
+    lifecycle_model,
+    untuned_model,
+    viability_point,
+)
+from .stoppers import (
+    AnyStopper,
+    HeuristicStopper,
+    MaxPerfOracleStopper,
+    NoStop,
+    Stopper,
+    TimeBudgetStopper,
+)
+
+__all__ = [
+    "IterationRecord",
+    "Tuner",
+    "TuningResult",
+    "HSTuner",
+    "LifecycleModel",
+    "crossover_point",
+    "lifecycle_model",
+    "untuned_model",
+    "viability_point",
+    "AnyStopper",
+    "HeuristicStopper",
+    "MaxPerfOracleStopper",
+    "NoStop",
+    "Stopper",
+    "TimeBudgetStopper",
+]

@@ -1,0 +1,235 @@
+"""HSTuner: the genetic-algorithm I/O tuner TunIO builds on.
+
+HSTuner drives a GA (tournament selection + elitism, as in the paper's
+DEAP pipeline) over the 12-parameter HDF5/MPI-IO/Lustre space.  Each
+fitness evaluation runs the workload (or its I/O kernel) on the stack
+simulator three times, averages bandwidths into the ``perf`` objective,
+and charges one run's duration plus setup overhead to the simulated
+tuning clock.
+
+The class exposes one extension point, :meth:`_select_subset`, returning
+the parameter names the next generation may vary (None = all).  TunIO's
+Smart Configuration Generation plugs in there; the base class always
+returns None, which *is* HSTuner.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ga import (
+    EvolutionEngine,
+    Individual,
+    Toolbox,
+    tournament_pair,
+    uniform_crossover,
+    uniform_reset_mutation,
+)
+from repro.iostack.clock import SimulatedClock
+from repro.iostack.config import StackConfiguration
+from repro.iostack.parameters import TUNED_SPACE, ParameterSpace
+from repro.iostack.simulator import IOStackSimulator, WorkloadLike
+
+from .base import IterationRecord, Tuner, TuningResult
+from .stoppers import NoStop, Stopper
+
+__all__ = ["HSTuner"]
+
+
+class HSTuner(Tuner):
+    """GA-based I/O stack tuner (the paper's baseline pipeline).
+
+    Parameters
+    ----------
+    simulator:
+        The stack simulator standing in for the testbed.
+    space:
+        Parameter space to tune (defaults to the paper's 12 parameters).
+    population_size, n_elites:
+        GA shape; the paper's pipeline uses elitism (1 elite) with
+        3-way-tournament parent selection.
+    stopper:
+        Stopping strategy consulted after every generation.
+    repeats:
+        Runs averaged per evaluation (3 in the paper's methodology).
+    mutation_probability:
+        Per-gene mutation rate of offspring.
+    rng:
+        Seeded generator for reproducibility.
+    """
+
+    name = "hstuner"
+
+    def __init__(
+        self,
+        simulator: IOStackSimulator,
+        space: ParameterSpace = TUNED_SPACE,
+        population_size: int = 6,
+        n_elites: int = 1,
+        stopper: Stopper | None = None,
+        repeats: int = 3,
+        mutation_probability: float = 0.12,
+        rng: np.random.Generator | None = None,
+    ):
+        self.simulator = simulator
+        self.space = space
+        self.population_size = population_size
+        self.n_elites = n_elites
+        self.stopper = stopper if stopper is not None else NoStop()
+        self.repeats = repeats
+        self.mutation_probability = mutation_probability
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.clock = SimulatedClock()
+        self._active_subset_size: int | None = None
+
+    # -- extension point -----------------------------------------------------
+
+    def _select_subset(
+        self, iteration: int, history: Sequence[IterationRecord]
+    ) -> tuple[str, ...] | None:
+        """Parameter names the next generation may vary; None = all.
+        Overridden by TunIO's Smart Configuration Generation."""
+        return None
+
+    def _observe_iteration(self, record: IterationRecord) -> None:
+        """Hook called after each iteration (TunIO feeds its agents)."""
+
+    # -- pipeline --------------------------------------------------------------
+
+    def tune(self, workload: WorkloadLike, max_iterations: int = 50) -> TuningResult:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.clock.reset()
+        self.stopper.reset()
+
+        result = TuningResult(tuner_name=self.name, workload_name=workload.name)
+        result.baseline_perf = self._evaluate_config(
+            workload, StackConfiguration.default(self.space), charge=False
+        )
+
+        generation_evals: list[float] = []
+
+        def evaluate(ind: Individual) -> float:
+            config = StackConfiguration.from_genome(self.space, ind.genome)
+            perf = self._evaluate_config(workload, config, charge=True)
+            generation_evals.append(perf)
+            return perf
+
+        def generate(n: int, rng: np.random.Generator) -> list[Individual]:
+            # HSTuner explores outward from the library defaults: the
+            # initial population is the default configuration plus
+            # neighbour perturbations of it.  (Uniform-random seeding
+            # would start the search deep inside the space and skip the
+            # climb the paper's tuning curves show.)
+            default = Individual(self.space.encode(self.space.default_values()))
+            population = [default]
+            while len(population) < n:
+                population.append(
+                    uniform_reset_mutation(
+                        default,
+                        rng,
+                        cardinalities=self.space.cardinalities,
+                        per_gene_probability=0.15,
+                    )
+                )
+            return population
+
+        def mutate(ind: Individual, rng: np.random.Generator) -> Individual:
+            # Classic DEAP-style uniform reset (mutUniformInt): a mutated
+            # gene re-draws uniformly among its candidate values.  Subset
+            # tuning concentrates the whole mutation budget into the
+            # active subset: the expected number of mutated genes per
+            # child stays constant however narrow the mask is -- which is
+            # exactly why a small high-impact subset converges faster.
+            active = self._active_subset_size or len(self.space)
+            rate = min(0.6, self.mutation_probability * len(self.space) / active)
+            return uniform_reset_mutation(
+                ind,
+                rng,
+                cardinalities=self.space.cardinalities,
+                per_gene_probability=rate,
+            )
+
+        toolbox = Toolbox()
+        toolbox.register("generate", generate)
+        toolbox.register("evaluate", evaluate)
+        toolbox.register("select", tournament_pair)
+        toolbox.register("mate", uniform_crossover)
+        toolbox.register("mutate", mutate)
+
+        engine = EvolutionEngine(
+            toolbox,
+            population_size=self.population_size,
+            n_elites=self.n_elites,
+            rng=self.rng,
+        )
+
+        # Preserved so a session can resume later (interactive refinement).
+        self._engine = engine
+        self._result = result
+        self._generation_evals = generation_evals
+        self._run_iterations(max_iterations)
+        return result
+
+    def resume(self, extra_iterations: int) -> TuningResult:
+        """Continue a finished :meth:`tune` run for more iterations,
+        keeping the GA population, clock and stopper state."""
+        if getattr(self, "_engine", None) is None:
+            raise RuntimeError("nothing to resume; call tune() first")
+        if extra_iterations < 1:
+            raise ValueError("extra_iterations must be >= 1")
+        self._run_iterations(extra_iterations)
+        return self._result
+
+    def _run_iterations(self, n_iterations: int) -> None:
+        engine, result = self._engine, self._result
+        generation_evals = self._generation_evals
+        start = len(result.history)
+        for iteration in range(start, start + n_iterations):
+            subset = self._select_subset(iteration, result.history)
+            tuned_names: tuple[str, ...]
+            if subset is None:
+                engine.set_mask(None)
+                tuned_names = self.space.names
+                self._active_subset_size = None
+            else:
+                mask = np.array([n in subset for n in self.space.names])
+                engine.set_mask(mask)
+                tuned_names = tuple(n for n in self.space.names if n in subset)
+                self._active_subset_size = len(tuned_names)
+
+            generation_evals.clear()
+            stats = engine.step()
+            record = IterationRecord(
+                iteration=iteration,
+                iteration_perf=max(generation_evals) if generation_evals else stats.best_fitness,
+                best_perf=stats.best_fitness,
+                elapsed_minutes=self.clock.elapsed_minutes,
+                evaluations=stats.evaluations,
+                tuned_parameters=tuned_names,
+            )
+            result.history.append(record)
+            self._observe_iteration(record)
+
+            if self.stopper.should_stop(result.history):
+                result.stop_reason = "stopper"
+                result.stopped_at = iteration
+                break
+        else:
+            result.stop_reason = "budget"
+
+        result.best_config = StackConfiguration.from_genome(
+            self.space, engine.best.genome
+        )
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def _evaluate_config(
+        self, workload: WorkloadLike, config: StackConfiguration, charge: bool
+    ) -> float:
+        evaluation = self.simulator.evaluate(workload, config, repeats=self.repeats)
+        if charge:
+            self.clock.charge_evaluation(evaluation.charged_seconds)
+        return evaluation.perf_mbps

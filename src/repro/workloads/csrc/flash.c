@@ -1,0 +1,76 @@
+/* FLASH-IO: checkpoint + plotfile kernel.
+ *
+ * Per checkpoint cycle: an evolve step (pure compute), 24 double-
+ * precision unknowns written per rank, 8 single-precision plotfile
+ * variables, and a heavy attribute/runtime-parameter metadata load.  The
+ * first cycle writes extra setup attributes (tree structure, runtime
+ * parameter tables).
+ */
+#include <hdf5.h>
+#include <mpi.h>
+#include <stdlib.h>
+
+#define N_CHECKPOINTS 8
+#define CKPT_VARS 24
+#define PLOT_VARS 8
+#define BLOCK_ELEMS 327680
+#define N_ATTRS 26
+#define INIT_ATTRS 40
+#define EVOLVE_ITERS 1500000000
+
+int main(int argc, char **argv)
+{
+    int rank, nprocs;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+
+    double *unk = (double *) malloc(BLOCK_ELEMS * sizeof(double));
+    float *plotvar = (float *) malloc(BLOCK_ELEMS * sizeof(float));
+    double rtparams[64];
+    double hydro_state = 1.0;
+    double grav_state = 0.0;
+
+    hsize_t unk_dims[1] = {BLOCK_ELEMS};
+
+    hid_t fapl_id = H5Pcreate(H5P_FILE_ACCESS);
+    H5Pset_fapl_mpio(fapl_id, MPI_COMM_WORLD, MPI_INFO_NULL);
+    hid_t file_id = H5Fcreate("flash_checkpoint.h5", H5F_ACC_TRUNC, H5P_DEFAULT, fapl_id);
+    hid_t unk_space = H5Screate_simple(1, unk_dims, NULL);
+    hid_t attr_id = H5Acreate2(file_id, "runtime_parameters", H5T_NATIVE_DOUBLE, unk_space, H5P_DEFAULT, H5P_DEFAULT);
+
+    for (int ckpt = 0; ckpt < N_CHECKPOINTS; ckpt++) {
+        /* hydro + gravity evolve: removed by the slicer */
+        for (long it = 0; it < EVOLVE_ITERS; it++) {
+            hydro_state = hydro_state * 0.9999 + 0.0001;
+            grav_state = grav_state + hydro_state * 0.125;
+        }
+        if (ckpt == 0) {
+            for (int a = 0; a < INIT_ATTRS; a++) {
+                H5Awrite(attr_id, H5T_NATIVE_DOUBLE, rtparams);
+            }
+        }
+        for (int a = 0; a < N_ATTRS; a++) {
+            H5Awrite(attr_id, H5T_NATIVE_DOUBLE, rtparams);
+        }
+        for (int v = 0; v < CKPT_VARS; v++) {
+            hid_t dset_id = H5Dcreate2(file_id, "unknown", H5T_NATIVE_DOUBLE, unk_space, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+            H5Dwrite(dset_id, H5T_NATIVE_DOUBLE, unk_space, H5S_ALL, H5P_DEFAULT, unk);
+            H5Dclose(dset_id);
+        }
+        for (int v = 0; v < PLOT_VARS; v++) {
+            hid_t plot_id = H5Dcreate2(file_id, "plotvar", H5T_NATIVE_FLOAT, unk_space, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+            H5Dwrite(plot_id, H5T_NATIVE_FLOAT, unk_space, H5S_ALL, H5P_DEFAULT, plotvar);
+            H5Dclose(plot_id);
+        }
+    }
+
+    H5Aclose(attr_id);
+    H5Sclose(unk_space);
+    H5Pclose(fapl_id);
+    H5Fclose(file_id);
+    free(unk);
+    free(plotvar);
+    MPI_Finalize();
+    return 0;
+}

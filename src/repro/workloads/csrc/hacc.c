@@ -1,0 +1,64 @@
+/* HACC-IO: cosmology checkpoint kernel.
+ *
+ * Nine per-particle variables checkpointed per cycle: seven float
+ * records (xx..phi), one int64 pid record and one uint16 mask record --
+ * 38 bytes per particle.  Each rank writes its whole population as one
+ * very large contiguous record per variable.
+ */
+#include <hdf5.h>
+#include <mpi.h>
+#include <stdlib.h>
+
+#define N_CHECKPOINTS 12
+#define FLOAT_VARS 7
+#define PARTICLES_PER_RANK 4000000
+#define GRAVITY_ITERS 1250000000
+
+int main(int argc, char **argv)
+{
+    int rank, nprocs;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+
+    float *record = (float *) malloc(PARTICLES_PER_RANK * sizeof(float));
+    long *pid = (long *) malloc(PARTICLES_PER_RANK * sizeof(long));
+    short *mask = (short *) malloc(PARTICLES_PER_RANK * sizeof(short));
+    double potential = 0.0;
+    double kinetic = 0.0;
+
+    hsize_t particle_dims[1] = {PARTICLES_PER_RANK};
+
+    hid_t fapl_id = H5Pcreate(H5P_FILE_ACCESS);
+    H5Pset_fapl_mpio(fapl_id, MPI_COMM_WORLD, MPI_INFO_NULL);
+    hid_t file_id = H5Fcreate("hacc_checkpoint.h5", H5F_ACC_TRUNC, H5P_DEFAULT, fapl_id);
+    hid_t particle_space = H5Screate_simple(1, particle_dims, NULL);
+
+    for (int ckpt = 0; ckpt < N_CHECKPOINTS; ckpt++) {
+        /* gravity solve: removed by the slicer */
+        for (long it = 0; it < GRAVITY_ITERS; it++) {
+            potential = potential * 0.9998 + 0.0002;
+            kinetic = kinetic + potential * 0.0625;
+        }
+        for (int v = 0; v < FLOAT_VARS; v++) {
+            hid_t var_id = H5Dcreate2(file_id, "float_record", H5T_NATIVE_FLOAT, particle_space, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+            H5Dwrite(var_id, H5T_NATIVE_FLOAT, particle_space, H5S_ALL, H5P_DEFAULT, record);
+            H5Dclose(var_id);
+        }
+        hid_t pid_id = H5Dcreate2(file_id, "pid_record", H5T_NATIVE_INT64, particle_space, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+        H5Dwrite(pid_id, H5T_NATIVE_INT64, particle_space, H5S_ALL, H5P_DEFAULT, pid);
+        H5Dclose(pid_id);
+        hid_t mask_id = H5Dcreate2(file_id, "mask_record", H5T_NATIVE_UINT16, particle_space, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+        H5Dwrite(mask_id, H5T_NATIVE_UINT16, particle_space, H5S_ALL, H5P_DEFAULT, mask);
+        H5Dclose(mask_id);
+    }
+
+    H5Sclose(particle_space);
+    H5Pclose(fapl_id);
+    H5Fclose(file_id);
+    free(record);
+    free(pid);
+    free(mask);
+    MPI_Finalize();
+    return 0;
+}

@@ -1,0 +1,53 @@
+/* VPIC-IO: particle dump kernel.
+ *
+ * Eight single-precision particle properties per timestep, written as
+ * 1-D datasets into one shared HDF5 file; each rank owns a contiguous
+ * slab.  Ten timesteps with a short field-advance between dumps.
+ */
+#include <hdf5.h>
+#include <mpi.h>
+#include <stdlib.h>
+
+#define N_STEPS 10
+#define N_PROPERTIES 8
+#define PARTICLES_PER_RANK 8000000
+#define PUSH_ITERS 1000000000
+
+int main(int argc, char **argv)
+{
+    int rank, nprocs;
+    MPI_Init(&argc, &argv);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+
+    float *prop = (float *) malloc(PARTICLES_PER_RANK * sizeof(float));
+    double e_field = 0.0;
+    double b_field = 0.0;
+
+    hsize_t slab_dims[1] = {PARTICLES_PER_RANK};
+
+    hid_t fapl_id = H5Pcreate(H5P_FILE_ACCESS);
+    H5Pset_fapl_mpio(fapl_id, MPI_COMM_WORLD, MPI_INFO_NULL);
+    hid_t file_id = H5Fcreate("vpic_particles.h5", H5F_ACC_TRUNC, H5P_DEFAULT, fapl_id);
+    hid_t slab_space = H5Screate_simple(1, slab_dims, NULL);
+
+    for (int step = 0; step < N_STEPS; step++) {
+        /* particle push: removed by the slicer */
+        for (long it = 0; it < PUSH_ITERS; it++) {
+            e_field = e_field * 0.9995 + 0.0005;
+            b_field = b_field + e_field * 0.25;
+        }
+        for (int p = 0; p < N_PROPERTIES; p++) {
+            hid_t dset_id = H5Dcreate2(file_id, "particle_prop", H5T_NATIVE_FLOAT, slab_space, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+            H5Dwrite(dset_id, H5T_NATIVE_FLOAT, slab_space, H5S_ALL, H5P_DEFAULT, prop);
+            H5Dclose(dset_id);
+        }
+    }
+
+    H5Sclose(slab_space);
+    H5Pclose(fapl_id);
+    H5Fclose(file_id);
+    free(prop);
+    MPI_Finalize();
+    return 0;
+}

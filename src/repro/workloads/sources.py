@@ -1,0 +1,76 @@
+"""Bundled application sources and their canonical model hints.
+
+The C sources are the inputs to Application I/O Discovery; the hints are
+the run-layout facts (job shape, access character) that static analysis
+cannot read from a source file, matching the values of the corresponding
+workload factories in this package.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+
+from repro.discovery.modelgen import ModelHints
+from repro.iostack.units import MiB
+
+__all__ = ["available_sources", "load_source", "canonical_hints"]
+
+_SOURCE_FILES = {
+    "macsio": "macsio.c",
+    "vpic": "vpic.c",
+    "flash": "flash.c",
+    "hacc": "hacc.c",
+    "bdcats": "bdcats.c",
+}
+
+_CANONICAL_HINTS: dict[str, ModelHints] = {
+    "macsio": ModelHints(
+        n_procs=128, n_nodes=4, interleave=0.45, contiguity=0.75,
+        chunk_size=MiB, working_set_per_proc=8 * MiB,
+    ),
+    "vpic": ModelHints(
+        n_procs=128, n_nodes=4, interleave=0.25, contiguity=0.9,
+        chunk_size=4 * MiB, working_set_per_proc=32 * MiB,
+    ),
+    "flash": ModelHints(
+        n_procs=128, n_nodes=4, interleave=0.55, contiguity=0.7,
+        chunk_size=MiB, working_set_per_proc=64 * MiB,
+    ),
+    "hacc": ModelHints(
+        n_procs=128, n_nodes=4, interleave=0.35, contiguity=0.95,
+        chunked=False,
+    ),
+    "bdcats": ModelHints(
+        n_procs=1600, n_nodes=500, interleave=0.3, contiguity=0.9,
+        chunk_size=8 * MiB, working_set_per_proc=32 * MiB,
+    ),
+}
+
+
+def available_sources() -> tuple[str, ...]:
+    """Names of the bundled application sources."""
+    return tuple(sorted(_SOURCE_FILES))
+
+
+def load_source(name: str) -> str:
+    """The C source text of a bundled application."""
+    try:
+        filename = _SOURCE_FILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown source {name!r}; available: {available_sources()}"
+        ) from None
+    return (
+        resources.files("repro.workloads") / "csrc" / filename
+    ).read_text()
+
+
+def canonical_hints(name: str) -> ModelHints:
+    """The model hints matching this package's workload factory for the
+    named application."""
+    try:
+        return _CANONICAL_HINTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown source {name!r}; available: {available_sources()}"
+        ) from None

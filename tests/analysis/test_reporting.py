@@ -1,0 +1,49 @@
+"""Report formatting helpers."""
+
+from repro.analysis.reporting import (
+    ComparisonRow,
+    format_comparison,
+    format_series,
+    format_table,
+)
+
+
+def test_table_alignment():
+    out = format_table(
+        ["name", "value"], [["a", 1.5], ["long-name", 1234567.0]], title="T"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert len(lines) == 5
+
+
+def test_table_float_formatting():
+    out = format_table(["x"], [[0.0001], [2.5], [5e9]])
+    assert "1.000e-04" in out
+    assert "2.50" in out
+    assert "5.000e+09" in out
+    assert format_table(["x"], [[0.0]]).splitlines()[-1].strip() == "0"
+
+
+def test_empty_table():
+    out = format_table(["a", "b"], [])
+    assert "a" in out and "b" in out
+
+
+def test_series_downsamples():
+    out = format_series("curve", list(range(160)))
+    assert "[160 pts]" in out
+    assert out.count(".") <= 40  # downsampled
+    assert format_series("e", []) == "e: (empty)"
+
+
+def test_comparison_table():
+    rows = [
+        ComparisonRow("peak RoTI", 2.87, 2.88, "Fig 8a"),
+        ComparisonRow("stop iteration", "35/50", "38/50"),
+    ]
+    out = format_comparison(rows, title="Paper vs measured")
+    assert "Paper vs measured" in out
+    assert "2.87" in out and "38/50" in out

@@ -1,0 +1,129 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deterministic: seeded generators, noiseless simulators,
+and a small, fast ``testbed`` platform for unit tests.  Heavier
+integration fixtures (trained agents) are session-scoped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iostack import (
+    IOStackSimulator,
+    NoiseModel,
+    StackConfiguration,
+    TUNED_SPACE,
+    cori,
+)
+from repro.iostack.cluster import testbed as make_testbed
+from repro.iostack.phase import IOPhase
+from repro.iostack.requests import MetadataStream, RequestStream
+from repro.workloads import Workload
+from repro.workloads.base import LoopGroup
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def platform():
+    return make_testbed(n_nodes=2)
+
+
+@pytest.fixture
+def cori_platform():
+    return cori(n_nodes=4)
+
+
+@pytest.fixture
+def quiet_sim(cori_platform) -> IOStackSimulator:
+    """Cori-shaped simulator with no run-to-run noise."""
+    return IOStackSimulator(cori_platform, NoiseModel.quiet())
+
+
+@pytest.fixture
+def default_config() -> StackConfiguration:
+    return StackConfiguration.default()
+
+
+@pytest.fixture
+def tuned_config() -> StackConfiguration:
+    """A hand-tuned configuration that is good for most workloads."""
+    mib = 1024 * 1024
+    return StackConfiguration.default().with_values(
+        striping_factor=64,
+        striping_unit=4 * mib,
+        alignment=4 * mib,
+        romio_collective=True,
+        cb_nodes=32,
+        cb_buffer_size=64 * mib,
+        coll_metadata_write=True,
+        coll_metadata_ops=True,
+        mdc_config="large",
+        meta_block_size=mib,
+        chunk_cache_size=256 * mib,
+    )
+
+
+def make_write_stream(
+    request_size: int = 1024 * 1024,
+    total_ops: int = 1024,
+    n_procs: int = 64,
+    **kwargs,
+) -> RequestStream:
+    return RequestStream.uniform(
+        "write", request_size, total_ops, n_procs, **kwargs
+    )
+
+
+@pytest.fixture
+def write_stream() -> RequestStream:
+    return make_write_stream(contiguity=0.8, interleave=0.4)
+
+
+def make_workload(
+    n_procs: int = 64,
+    n_nodes: int = 2,
+    request_size: int = 1024 * 1024,
+    writes_per_proc: int = 64,
+    n_iterations: int = 10,
+    compute_seconds: float = 2.0,
+    **stream_kwargs,
+) -> Workload:
+    """A small synthetic workload for unit tests."""
+    stream = RequestStream.uniform(
+        "write",
+        request_size,
+        writes_per_proc * n_procs,
+        n_procs,
+        contiguity=0.8,
+        interleave=0.4,
+        **stream_kwargs,
+    )
+    meta = MetadataStream(total_ops=8 * n_procs, n_procs=n_procs)
+    phase = IOPhase(
+        name="dump",
+        compute_seconds=compute_seconds,
+        data=(stream,),
+        metadata=meta,
+        chunked=True,
+        chunk_size=1024 * 1024,
+        working_set_per_proc=8 * 1024 * 1024,
+    )
+    steady = phase.scaled(n_iterations - 1) if n_iterations > 1 else None
+    phases = (phase,) if steady is None else (phase, steady)
+    return Workload(
+        name="test-workload",
+        n_procs=n_procs,
+        n_nodes=n_nodes,
+        loops=(LoopGroup("loop", n_iterations, phases),),
+    )
+
+
+@pytest.fixture
+def small_workload() -> Workload:
+    return make_workload()

@@ -1,0 +1,22 @@
+"""Core-package fixtures: one offline-trained agent bundle per session."""
+
+import numpy as np
+import pytest
+
+from repro.core import PerfNormalizer, train_tunio_agents
+from repro.iostack import IOStackSimulator, NoiseModel, cori
+from repro.workloads import flash, hacc, vpic
+
+
+@pytest.fixture(scope="session")
+def trained_bundle():
+    """Simulator, normalizer and offline-trained agents (shared across
+    the core tests; training takes a few seconds)."""
+    platform = cori(4)
+    sim = IOStackSimulator(platform, NoiseModel(seed=77))
+    normalizer = PerfNormalizer.for_platform(platform, 4)
+    agents = train_tunio_agents(
+        sim, [vpic(), flash(), hacc()], normalizer,
+        rng=np.random.default_rng(77),
+    )
+    return sim, normalizer, agents

@@ -1,0 +1,59 @@
+"""The tunio-tune CLI (smoke coverage at tiny budgets)."""
+
+import pytest
+
+from repro.core.cli import build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["flash"])
+    assert args.workload == "flash"
+    assert args.tuner == "tunio"
+    assert args.iterations == 50
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["gromacs"])
+
+
+def test_hstuner_run(capsys):
+    assert main(["flash", "--tuner", "hstuner", "--iterations", "3", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline:" in out
+    assert "iter   0" in out
+    assert "H5Tuner override file:" in out
+    assert "<Parameters>" in out
+
+
+def test_heuristic_run(capsys):
+    assert main(["hacc", "--tuner", "hstuner-heuristic", "--iterations", "3"]) == 0
+    assert "final:" in capsys.readouterr().out
+
+
+def test_kernel_run(capsys):
+    assert main([
+        "macsio", "--tuner", "hstuner", "--iterations", "2",
+        "--loop-reduction", "0.01",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "using I/O kernel" in out
+
+
+def test_agents_cache_roundtrip(tmp_path, capsys):
+    cache = tmp_path / "agents.npz"
+    assert main(["flash", "--iterations", "2", "--agents-cache", str(cache)]) == 0
+    assert cache.exists()
+    assert "saved trained agents" in capsys.readouterr().out
+    assert main(["flash", "--iterations", "2", "--agents-cache", str(cache)]) == 0
+    assert "loading trained agents" in capsys.readouterr().out
+
+
+def test_kernel_mode_requires_bundled_source(capsys):
+    assert main(["ior", "--use-kernel", "--iterations", "2"]) == 2
+    assert "no bundled C source" in capsys.readouterr().err
+
+
+def test_ior_workload_runs(capsys):
+    assert main(["ior", "--tuner", "hstuner", "--iterations", "2"]) == 0
+    assert "final:" in capsys.readouterr().out

@@ -1,0 +1,65 @@
+"""The tunio-discover CLI."""
+
+import pytest
+
+from repro.discovery.cli import main
+from repro.workloads.sources import load_source
+
+
+@pytest.fixture
+def app_c(tmp_path):
+    path = tmp_path / "app.c"
+    path.write_text(load_source("macsio"))
+    return path
+
+
+def test_default_invocation_writes_kernel(app_c, capsys):
+    assert main([str(app_c)]) == 0
+    out = capsys.readouterr().out
+    assert "kept" in out
+    kernel = app_c.with_suffix(".kernel.c")
+    assert kernel.exists()
+    assert "H5Dwrite" in kernel.read_text()
+    assert "fprintf" not in kernel.read_text()
+
+
+def test_explicit_output_path(app_c, tmp_path, capsys):
+    out_path = tmp_path / "k.c"
+    assert main([str(app_c), "-o", str(out_path)]) == 0
+    assert out_path.exists()
+
+
+def test_loop_reduction_flag(app_c, capsys):
+    assert main([str(app_c), "--loop-reduction", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "multiplied by 85" in out
+    assert "tunio:loop-reduced" in app_c.with_suffix(".kernel.c").read_text()
+
+
+def test_path_switch_flag(app_c):
+    assert main([str(app_c), "--path-switch", "/dev/shm"]) == 0
+    assert "/dev/shm/macsio_dump.h5" in app_c.with_suffix(".kernel.c").read_text()
+
+
+def test_explain_mode_prints_annotations(app_c, capsys):
+    assert main([str(app_c), "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert "KEEP" in out and "drop" in out
+    assert not app_c.with_suffix(".kernel.c").exists()
+
+
+def test_keep_region(app_c, capsys):
+    assert main([str(app_c), "--keep-region", "1:5"]) == 0
+    with pytest.raises(SystemExit):
+        main([str(app_c), "--keep-region", "nope"])
+
+
+def test_missing_input_file(tmp_path, capsys):
+    assert main([str(tmp_path / "missing.c")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_custom_io_prefix(app_c):
+    assert main([str(app_c), "--io-prefix", "fprintf"]) == 0
+    text = app_c.with_suffix(".kernel.c").read_text()
+    assert "fprintf" in text

@@ -1,0 +1,65 @@
+"""Constant-expression evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.discovery.constants import ConstantEnv, UnresolvableExpression
+from repro.discovery.formatter import format_source
+from repro.discovery.parser import parse_source
+
+
+def env_from(src):
+    return ConstantEnv.from_parsed(parse_source(format_source(src)))
+
+
+def test_defines_collected():
+    env = env_from("#define A 10\n#define B (A * 2)\nint main(void) { return 0; }")
+    assert env.resolve("A") == 10
+    assert env.resolve("B") == 20
+    assert env.resolve("A + B") == 30
+
+
+def test_function_like_macros_skipped():
+    env = env_from("#define SQ(x) ((x)*(x))\n#define N 3\nint main(void){return 0;}")
+    assert "SQ" not in env.macros
+    assert env.resolve("N") == 3
+
+
+def test_arithmetic():
+    env = ConstantEnv()
+    assert env.resolve("2 + 3 * 4") == 14
+    assert env.resolve("(2 + 3) * 4") == 20
+    assert env.resolve("10 / 3") == 3
+    assert env.resolve("10 % 3") == 1
+    assert env.resolve("-5 + 2") == -3
+    assert env.resolve("0x10") == 16
+    assert env.resolve("100UL") == 100
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000), st.integers(1, 50))
+def test_matches_python_semantics(a, b, c):
+    env = ConstantEnv()
+    assert env.resolve(f"({a}) + ({b}) * ({c})") == a + b * c
+
+
+def test_unresolvable_cases():
+    env = ConstantEnv()
+    for expr in ("FOO", "1 +", "(1", "1 / 0", "3.5", '"str"'):
+        with pytest.raises(UnresolvableExpression):
+            env.resolve(expr)
+        assert env.try_resolve(expr) is None
+
+
+def test_define_override():
+    env = ConstantEnv()
+    env.define("N", 5)
+    env.define("M", "N * N")
+    assert env.resolve("M") == 25
+
+
+def test_macro_recursion_guard():
+    env = ConstantEnv()
+    env.define("A", "B")
+    env.define("B", "A")
+    with pytest.raises(UnresolvableExpression):
+        env.resolve("A")

@@ -1,0 +1,72 @@
+"""One-statement-per-line formatter."""
+
+from repro.discovery.formatter import format_source
+from repro.discovery.lexer import TokenKind, tokenize
+
+
+SAMPLE = """
+#include <hdf5.h>
+#define N 4
+int main(void) { int a = 1; int b = 2; if (a) { b = 3; } return b; }
+"""
+
+
+def test_braces_on_own_lines():
+    lines = [l.strip() for l in format_source(SAMPLE).splitlines()]
+    assert "{" in lines and "}" in lines
+    # No statement shares a line with a block brace.
+    for line in lines:
+        if line in ("{", "}"):
+            continue
+        assert not line.endswith("{")
+
+
+def test_multi_statement_lines_split():
+    lines = [l.strip() for l in format_source(SAMPLE).splitlines()]
+    assert "int a = 1;" in lines
+    assert "int b = 2;" in lines
+
+
+def test_idempotent():
+    once = format_source(SAMPLE)
+    assert format_source(once) == once
+
+
+def test_token_stream_preserved():
+    def stream(src):
+        return [
+            (t.kind, t.text)
+            for t in tokenize(src)
+            if t.kind not in (TokenKind.EOF,)
+        ]
+
+    assert stream(SAMPLE) == stream(format_source(SAMPLE))
+
+
+def test_initializer_braces_stay_inline():
+    src = "int main(void) { hsize_t dims[2] = {4, 8}; return 0; }"
+    out = format_source(src)
+    assert "{ 4, 8 }" in out or "{4, 8}" in out
+    # Exactly one block open/close pair.
+    lines = [l.strip() for l in out.splitlines()]
+    assert lines.count("{") == 1 and lines.count("}") == 1
+
+
+def test_for_header_semicolons_not_split():
+    src = "int main(void) { for (int i = 0; i < 4; i++) { i; } return 0; }"
+    out = format_source(src)
+    header = [l for l in out.splitlines() if "for" in l]
+    assert len(header) == 1
+    assert header[0].count(";") == 2
+
+
+def test_directives_own_lines():
+    out = format_source(SAMPLE)
+    assert "#include <hdf5.h>" in out.splitlines()
+    assert "#define N 4" in out.splitlines()
+
+
+def test_nested_blocks_indent():
+    out = format_source(SAMPLE)
+    body_lines = [l for l in out.splitlines() if "b = 3" in l]
+    assert body_lines[0].startswith("        ")  # two levels deep

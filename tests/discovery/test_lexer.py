@@ -1,0 +1,77 @@
+"""C tokenizer."""
+
+import pytest
+
+from repro.discovery.lexer import LexError, TokenKind, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != TokenKind.EOF]
+
+
+def test_identifiers_and_keywords():
+    toks = kinds("int foo = bar;")
+    assert toks[0] == (TokenKind.KEYWORD, "int")
+    assert toks[1] == (TokenKind.IDENT, "foo")
+    assert (TokenKind.IDENT, "bar") in toks
+
+
+def test_numbers():
+    toks = kinds("x = 42 + 0x1F + 3.14 + 1e-5 + 100UL;")
+    numbers = [t for k, t in toks if k == TokenKind.NUMBER]
+    assert numbers == ["42", "0x1F", "3.14", "1e-5", "100UL"]
+
+
+def test_strings_and_chars():
+    toks = kinds(r'f("a \"quoted\" path", '+ r"'x');")
+    assert any(k == TokenKind.STRING for k, _ in toks)
+    assert any(k == TokenKind.CHAR for k, _ in toks)
+
+
+def test_multichar_operators_maximal_munch():
+    toks = [t for _, t in kinds("a <<= b >> c != d->e;")]
+    assert "<<=" in toks and ">>" in toks and "!=" in toks and "->" in toks
+
+
+def test_comments_dropped():
+    toks = kinds("a; // line comment\n/* block\ncomment */ b;")
+    idents = [t for k, t in toks if k == TokenKind.IDENT]
+    assert idents == ["a", "b"]
+
+
+def test_directive_captured_whole():
+    toks = tokenize("#define N 10\nint x;\n")
+    assert toks[0].kind == TokenKind.DIRECTIVE
+    assert toks[0].text == "#define N 10"
+
+
+def test_directive_with_continuation():
+    toks = tokenize("#define LONG \\\n  42\nint x;\n")
+    assert toks[0].kind == TokenKind.DIRECTIVE
+    assert "42" in toks[0].text
+
+
+def test_hash_mid_line_is_not_directive():
+    # '#' only starts a directive at the start of a line.
+    with pytest.raises(LexError):
+        tokenize("int x = 1 # 2;")
+
+
+def test_line_numbers_tracked():
+    toks = tokenize("a;\nb;\nc;")
+    idents = [t for t in toks if t.kind == TokenKind.IDENT]
+    assert [t.line for t in idents] == [1, 2, 3]
+
+
+def test_unterminated_constructs_raise():
+    with pytest.raises(LexError):
+        tokenize('"unterminated')
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+    with pytest.raises(LexError):
+        tokenize('x = "broken\nstring";')
+
+
+def test_eof_token_always_last():
+    assert tokenize("").pop().kind == TokenKind.EOF
+    assert tokenize("x;").pop().kind == TokenKind.EOF

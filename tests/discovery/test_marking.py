@@ -1,0 +1,161 @@
+"""The marking loop (the heart of Application I/O Discovery)."""
+
+import pytest
+
+from repro.discovery.formatter import format_source
+from repro.discovery.marking import MarkingOptions, mark_lines
+from repro.discovery.parser import parse_source
+from repro.discovery.reconstruct import reconstruct_kernel
+
+
+SRC = """
+#include <hdf5.h>
+#include <mpi.h>
+#include <stdio.h>
+#define N 1000
+#define STEPS 10
+void compute(double *state, int n) {
+  for (int k = 0; k < n; k++) { state[k] = state[k] * 1.5; }
+}
+void log_step(FILE *logf, int step) {
+  fprintf(logf, "step %d done", step);
+}
+int main(int argc, char **argv) {
+  int rank;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  FILE *logf = fopen("run.log", "w");
+  double *state = (double *) malloc(N * sizeof(double));
+  double *data = (double *) malloc(N * sizeof(double));
+  double checksum = 0.0;
+  hsize_t dims[1] = {N};
+  hid_t fid = H5Fcreate("out.h5", H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+  hid_t sid = H5Screate_simple(1, dims, NULL);
+  hid_t did = H5Dcreate2(fid, "data", H5T_NATIVE_DOUBLE, sid, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+  for (int step = 0; step < STEPS; step++) {
+    compute(state, N);
+    data[0] = 1.0;
+    checksum = checksum + state[0];
+    H5Dwrite(did, H5T_NATIVE_DOUBLE, H5S_ALL, H5S_ALL, H5P_DEFAULT, data);
+    log_step(logf, step);
+  }
+  printf("checksum %f", checksum);
+  fclose(logf);
+  H5Dclose(did);
+  H5Fclose(fid);
+  MPI_Finalize();
+  return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def parsed():
+    return parse_source(format_source(SRC))
+
+
+@pytest.fixture(scope="module")
+def marking(parsed):
+    return mark_lines(parsed)
+
+
+def kept_text(parsed, marking):
+    return "\n".join(parsed.lines[i].text for i in marking.kept_sorted())
+
+
+def test_io_calls_kept(parsed, marking):
+    text = kept_text(parsed, marking)
+    for call in ("H5Fcreate", "H5Screate_simple", "H5Dcreate2", "H5Dwrite",
+                 "H5Dclose", "H5Fclose"):
+        assert call in text
+
+
+def test_essential_mpi_calls_kept(parsed, marking):
+    text = kept_text(parsed, marking)
+    assert "MPI_Init" in text and "MPI_Finalize" in text
+
+
+def test_directives_always_kept(parsed, marking):
+    text = kept_text(parsed, marking)
+    assert "#define N 1000" in text and "#include <hdf5.h>" in text
+
+
+def test_dependents_backward_sliced(parsed, marking):
+    text = kept_text(parsed, marking)
+    # data feeds H5Dwrite: its malloc and assignment survive.
+    assert "double *data" in text
+    assert "data[0] = 1.0" in text
+    # dims feeds the dataspace.
+    assert "hsize_t dims" in text
+
+
+def test_compute_and_logging_dropped(parsed, marking):
+    text = kept_text(parsed, marking)
+    assert "compute(state, N)" not in text
+    assert "state[k] * 1.5" not in text
+    assert "checksum" not in text
+    assert "fprintf" not in text
+    assert "log_step" not in text
+    assert "printf" not in text
+    assert "fopen" not in text
+
+
+def test_contextual_parents_kept(parsed, marking):
+    text = kept_text(parsed, marking)
+    assert "for (int step = 0; step < STEPS; step++)" in text
+    assert "int main" in text
+    assert "return 0;" in text
+
+
+def test_kernel_braces_balanced(parsed, marking):
+    kernel = reconstruct_kernel(parsed, marking)
+    assert kernel.count("{") == kernel.count("}")
+
+
+def test_reasons_recorded(parsed, marking):
+    reasons = set(marking.reasons.values())
+    assert any(r.startswith("io-call:") for r in reasons)
+    assert any(r.startswith("backward-slice:") for r in reasons)
+    assert any(r.startswith("parent-of:") for r in reasons)
+    assert any(r.startswith("essential:") for r in reasons)
+
+
+def test_live_functions(parsed, marking):
+    assert "main" in marking.live_functions
+    assert "compute" not in marking.live_functions
+
+
+def test_keep_regions_forced(parsed):
+    target = next(
+        l.index for l in parsed.lines if "checksum = checksum" in l.text
+    )
+    opts = MarkingOptions(keep_regions=((target, target),))
+    marking = mark_lines(parsed, opts)
+    assert target in marking.kept
+    # Its dependents come along: checksum's declaration.
+    decl = next(l.index for l in parsed.lines if "double checksum" in l.text)
+    assert decl in marking.kept
+
+
+def test_invalid_keep_region():
+    parsed = parse_source(format_source("int main(void)\n{\nreturn 0;\n}\n"))
+    with pytest.raises(ValueError):
+        mark_lines(parsed, MarkingOptions(keep_regions=((5, 2),)))
+
+
+def test_custom_io_prefix(parsed):
+    opts = MarkingOptions(io_prefixes=("fprintf",), essential_calls=())
+    marking = mark_lines(parsed, opts)
+    text = kept_text(parsed, marking)
+    assert "fprintf" in text
+    assert "H5Dwrite" not in text
+
+
+def test_called_io_functions_keep_call_sites(parsed):
+    # log_step contains fprintf: with fprintf as the I/O call, the
+    # call site of log_step must survive so the kernel still calls it.
+    opts = MarkingOptions(io_prefixes=("fprintf",), essential_calls=())
+    marking = mark_lines(parsed, opts)
+    text = kept_text(parsed, marking)
+    assert "log_step(logf, step)" in text
+    assert "void log_step" in text

@@ -1,0 +1,114 @@
+"""Structural line parser."""
+
+import pytest
+
+from repro.discovery.formatter import format_source
+from repro.discovery.parser import LineKind, parse_source
+
+
+SRC = format_source("""
+#include <hdf5.h>
+#define N 100
+void helper(double *buf, int n) {
+  for (int k = 0; k < n; k++) { buf[k] = buf[k] + 1.0; }
+}
+int main(int argc, char **argv) {
+  int rank;
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  double *data = (double *) malloc(N * sizeof(double));
+  hid_t fid = H5Fcreate("out.h5", H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+  if (rank == 0) {
+    helper(data, N);
+  } else {
+    data[0] = 1.0;
+  }
+  for (int step = 0; step < N; step++) {
+    H5Dwrite(fid, H5T_NATIVE_DOUBLE, H5S_ALL, H5S_ALL, H5P_DEFAULT, data);
+  }
+  H5Fclose(fid);
+  MPI_Finalize();
+  return 0;
+}
+""")
+
+
+@pytest.fixture(scope="module")
+def parsed():
+    return parse_source(SRC)
+
+
+def line_of(parsed, fragment):
+    for line in parsed.lines:
+        if fragment in line.text:
+            return line
+    raise AssertionError(f"no line contains {fragment!r}")
+
+
+def test_functions_found(parsed):
+    assert set(parsed.functions) == {"helper", "main"}
+    helper = parsed.functions["helper"]
+    assert helper.params == ("buf", "n")
+    assert helper.block_open > helper.head
+    assert helper.block_close > helper.block_open
+
+
+def test_line_kinds(parsed):
+    assert line_of(parsed, "#define").kind == LineKind.DIRECTIVE
+    assert line_of(parsed, "for (int step").kind == LineKind.FOR
+    assert line_of(parsed, "if (rank == 0)").kind == LineKind.IF
+    assert line_of(parsed, "else").kind == LineKind.ELSE
+    assert line_of(parsed, "return 0").kind == LineKind.RETURN
+    assert line_of(parsed, "int rank").kind == LineKind.DECL
+    assert line_of(parsed, "hid_t fid").kind == LineKind.DECL
+    assert line_of(parsed, "MPI_Finalize").kind == LineKind.EXPR
+
+
+def test_defs_and_uses(parsed):
+    decl = line_of(parsed, "double *data")
+    assert "data" in decl.defs
+    assert "N" in decl.uses
+    write = line_of(parsed, "H5Dwrite")
+    assert "data" in write.uses and "fid" in write.uses
+    rank_line = line_of(parsed, "MPI_Comm_rank")
+    assert "rank" in rank_line.defs  # &rank output argument
+
+
+def test_calls_extracted(parsed):
+    fid = line_of(parsed, "H5Fcreate")
+    call = fid.calls[0]
+    assert call.name == "H5Fcreate"
+    assert call.string_args == ("out.h5",)
+    assert "H5F_ACC_TRUNC" in call.arg_idents
+
+
+def test_call_sites_indexed(parsed):
+    assert len(parsed.call_sites["helper"]) == 1
+    site = parsed.call_sites["helper"][0]
+    assert "helper(data, N)" in parsed.lines[site].text
+
+
+def test_parent_chain(parsed):
+    write = line_of(parsed, "H5Dwrite")
+    headers = parsed.enclosing_headers(write.index)
+    kinds = [parsed.lines[h].kind for h in headers]
+    assert kinds == [LineKind.FOR, LineKind.FUNC_HEAD]
+
+
+def test_func_attribution(parsed):
+    assert line_of(parsed, "buf[k]").func == "helper"
+    assert line_of(parsed, "H5Dwrite").func == "main"
+    assert line_of(parsed, "#define").func is None
+
+
+def test_block_ranges_match_braces(parsed):
+    loop = line_of(parsed, "for (int step")
+    assert parsed.lines[loop.block_open].kind == LineKind.BRACE_OPEN
+    assert parsed.lines[loop.block_close].kind == LineKind.BRACE_CLOSE
+    assert loop.block_open < loop.block_close
+
+
+def test_else_branch_parented(parsed):
+    else_body = line_of(parsed, "data[0] = 1.0")
+    parent = parsed.lines[else_body.parent]
+    assert parent.kind == LineKind.ELSE

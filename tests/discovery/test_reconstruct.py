@@ -1,0 +1,51 @@
+"""Kernel reconstruction and the annotated explain view."""
+
+from repro.discovery.formatter import format_source
+from repro.discovery.marking import mark_lines
+from repro.discovery.parser import parse_source
+from repro.discovery.reconstruct import annotate_source, reconstruct_kernel
+
+SRC = format_source("""
+#include <hdf5.h>
+int main(void) {
+  double x = 1.0;
+  x = x * 2.0;
+  hid_t f = H5Fcreate("o.h5", H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+  H5Fclose(f);
+  return 0;
+}
+""")
+
+
+def test_reconstruct_preserves_order():
+    parsed = parse_source(SRC)
+    marking = mark_lines(parsed)
+    kernel = reconstruct_kernel(parsed, marking)
+    lines = kernel.splitlines()
+    assert lines[0].startswith("#include")
+    # Ordering follows the original file.
+    assert lines.index(next(l for l in lines if "H5Fcreate" in l)) < lines.index(
+        next(l for l in lines if "H5Fclose" in l)
+    )
+    # Dropped statements are truly absent.
+    assert "x * 2.0" not in kernel
+
+
+def test_reconstruct_empty_marking():
+    parsed = parse_source("int x;\n")
+    from repro.discovery.marking import MarkingResult
+
+    empty = MarkingResult(kept=set(), reasons={})
+    assert reconstruct_kernel(parsed, empty) == ""
+
+
+def test_annotate_marks_every_line():
+    parsed = parse_source(SRC)
+    marking = mark_lines(parsed)
+    annotated = annotate_source(parsed, marking)
+    rows = annotated.splitlines()
+    assert len(rows) == len(parsed.lines)
+    assert any("KEEP" in r and "H5Fcreate" in r for r in rows)
+    assert any(r.lstrip().split()[1] == "drop" for r in rows if "x * 2.0" in r)
+    # Line numbers are 1-based and sequential.
+    assert rows[0].split()[0] == "1"

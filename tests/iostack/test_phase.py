@@ -1,0 +1,68 @@
+"""IOPhase aggregation and transforms."""
+
+import pytest
+
+from repro.iostack.phase import IOPhase
+from repro.iostack.requests import MetadataStream, RequestStream
+
+
+def make_phase(compute=5.0, tier="lustre"):
+    w = RequestStream.uniform("write", 1000, 100, 4)
+    r = RequestStream.uniform("read", 500, 50, 4)
+    m = MetadataStream(total_ops=40, n_procs=4)
+    return IOPhase(
+        name="p",
+        compute_seconds=compute,
+        data=(w, r),
+        metadata=m,
+        chunked=True,
+        chunk_size=4096,
+        working_set_per_proc=8192,
+        tier=tier,
+    )
+
+
+def test_phase_totals():
+    p = make_phase()
+    assert p.bytes_written == 100_000
+    assert p.bytes_read == 25_000
+    assert p.write_ops == 100
+    assert p.read_ops == 50
+
+
+def test_phase_validation():
+    with pytest.raises(ValueError):
+        make_phase(compute=-1.0)
+    with pytest.raises(ValueError):
+        make_phase(tier="tape")
+    with pytest.raises(ValueError):
+        IOPhase(name="x", compute_seconds=0.0, data=(), chunked=True, chunk_size=0)
+
+
+def test_scaled_scales_io_and_compute():
+    p = make_phase(compute=10.0)
+    half = p.scaled(0.5)
+    assert half.write_ops == 50
+    assert half.bytes_written == 50_000
+    assert half.compute_seconds == pytest.approx(5.0)
+    assert half.metadata.total_ops == 20
+
+
+def test_scaled_with_separate_compute_factor():
+    p = make_phase(compute=10.0)
+    s = p.scaled(0.5, compute_factor=1.0)
+    assert s.compute_seconds == pytest.approx(10.0)
+    assert s.write_ops == 50
+
+
+def test_switched_to_memory():
+    p = make_phase()
+    m = p.switched_to_memory()
+    assert m.tier == "memory"
+    assert p.tier == "lustre"  # original untouched
+    assert m.bytes_written == p.bytes_written
+
+
+def test_empty_data_phase_is_legal():
+    p = IOPhase(name="compute_only", compute_seconds=3.0, data=())
+    assert p.bytes_written == 0 and p.read_ops == 0

@@ -1,0 +1,137 @@
+"""Request and metadata stream representation and transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.iostack.requests import MAX_SAMPLE, MetadataStream, RequestStream
+
+
+def test_uniform_stream_totals():
+    s = RequestStream.uniform("write", 1024, 5000, 8)
+    assert s.total_bytes == 1024 * 5000
+    assert s.mean_size == 1024
+    assert s.sizes.size == MAX_SAMPLE
+    assert s.scale == pytest.approx(5000 / MAX_SAMPLE)
+    assert s.ops_per_proc == pytest.approx(625)
+
+
+def test_small_streams_sample_everything():
+    s = RequestStream.uniform("read", 10, 7, 2)
+    assert s.sizes.size == 7
+    assert s.scale == 1.0
+
+
+def test_lognormal_stream_consistent_totals(rng):
+    s = RequestStream.lognormal("write", 4096, 1.0, 10_000, 16, rng)
+    assert s.total_bytes == pytest.approx(s.mean_size * s.total_ops, abs=1.0)
+    assert np.all(s.sizes >= 1.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(total_ops=0),
+        dict(total_bytes=0),
+        dict(n_procs=0),
+        dict(contiguity=1.5),
+        dict(interleave=-0.1),
+        dict(alignment=0),
+        dict(nodes=-1),
+        dict(op="append"),
+    ],
+)
+def test_invalid_fields_rejected(kwargs):
+    base = dict(
+        op="write",
+        sizes=np.array([100.0]),
+        total_ops=10,
+        total_bytes=1000,
+        n_procs=2,
+    )
+    base.update(kwargs)
+    with pytest.raises(ValueError):
+        RequestStream(**base)
+
+
+def test_oversized_sample_rejected():
+    with pytest.raises(ValueError):
+        RequestStream(
+            op="write",
+            sizes=np.ones(MAX_SAMPLE + 1),
+            total_ops=MAX_SAMPLE + 1,
+            total_bytes=MAX_SAMPLE + 1,
+            n_procs=1,
+        )
+
+
+# -- transforms -----------------------------------------------------------------
+
+
+@given(st.floats(min_value=0.01, max_value=100.0))
+def test_scaled_ops_scales_totals(factor):
+    s = RequestStream.uniform("write", 100, 1000, 4)
+    scaled = s.scaled_ops(factor)
+    assert scaled.total_ops == max(1, round(1000 * factor))
+    assert scaled.total_bytes == max(1, round(100_000 * factor))
+    assert np.array_equal(scaled.sizes, s.sizes)
+
+
+def test_aligned_preserves_bytes_and_sets_marker():
+    s = RequestStream.uniform("write", 3_000_000, 100, 4)
+    a = s.aligned(1024 * 1024)
+    assert a.alignment == 1024 * 1024
+    assert a.total_bytes == s.total_bytes
+    assert a.total_ops == s.total_ops
+
+
+def test_aligned_noop_for_boundary_one():
+    s = RequestStream.uniform("write", 100, 10, 1)
+    assert s.aligned(1) is s
+
+
+def test_coalesce_merges_sequential_requests():
+    s = RequestStream.uniform("write", 4096, 10_000, 4, contiguity=1.0)
+    merged = s.coalesce(64 * 1024)
+    assert merged.total_ops < s.total_ops
+    assert merged.total_bytes == s.total_bytes
+    assert merged.mean_size > s.mean_size
+
+
+def test_coalesce_respects_contiguity():
+    random_access = RequestStream.uniform("write", 4096, 10_000, 4, contiguity=0.0)
+    assert random_access.coalesce(64 * 1024) is random_access
+
+
+def test_coalesce_noop_for_large_requests():
+    s = RequestStream.uniform("write", 1024 * 1024, 100, 4)
+    assert s.coalesce(1024) is s
+
+
+def test_nodes_spanned_inference():
+    s = RequestStream.uniform("write", 100, 100, 64)
+    assert s.nodes_spanned(n_nodes=4, procs_per_node=32) == 2
+    assert s.nodes_spanned(n_nodes=1, procs_per_node=32) == 1
+    sparse = RequestStream.uniform("write", 100, 100, 64, nodes=50)
+    assert sparse.nodes_spanned(n_nodes=500, procs_per_node=32) == 50
+    assert sparse.nodes_spanned(n_nodes=10, procs_per_node=32) == 10
+
+
+# -- metadata stream --------------------------------------------------------------
+
+
+def test_metadata_stream_basics():
+    m = MetadataStream(total_ops=1000, n_procs=10)
+    assert m.ops_per_proc == 100
+    assert m.scaled_ops(0.5).total_ops == 500
+
+
+def test_metadata_stream_validation():
+    with pytest.raises(ValueError):
+        MetadataStream(total_ops=-1, n_procs=1)
+    with pytest.raises(ValueError):
+        MetadataStream(total_ops=1, n_procs=0)
+    with pytest.raises(ValueError):
+        MetadataStream(total_ops=1, n_procs=1, write_fraction=2.0)
+    with pytest.raises(ValueError):
+        MetadataStream(total_ops=10, n_procs=1).scaled_ops(0.0)

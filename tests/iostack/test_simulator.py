@@ -1,0 +1,100 @@
+"""The composed stack simulator and Darshan reports."""
+
+import pytest
+
+from repro.iostack import IOStackSimulator, NoiseModel, StackConfiguration, cori
+from repro.iostack.cluster import testbed as make_testbed
+from tests.conftest import make_workload
+
+MiB = 1024 * 1024
+
+
+@pytest.fixture
+def sim():
+    return IOStackSimulator(make_testbed(n_nodes=2), NoiseModel.quiet())
+
+
+def test_run_produces_consistent_report(sim, default_config):
+    w = make_workload()
+    report = sim.run(w, default_config)
+    assert report.app_bytes_written == w.bytes_written
+    assert report.app_write_ops == w.write_ops
+    assert report.write_seconds > 0
+    assert report.runtime_seconds >= report.compute_seconds
+    assert report.alpha == pytest.approx(1.0)  # write-only workload
+    assert len(report.phases) == len(w.phases())
+
+
+def test_quiet_runs_are_deterministic(sim, default_config):
+    w = make_workload()
+    a = sim.run(w, default_config)
+    b = sim.run(w, default_config)
+    assert a.runtime_seconds == b.runtime_seconds
+    assert a.write_bandwidth == b.write_bandwidth
+
+
+def test_noise_perturbs_io_not_compute(default_config):
+    noisy = IOStackSimulator(make_testbed(2), NoiseModel(sigma=0.3, seed=1))
+    w = make_workload()
+    a = noisy.run(w, default_config)
+    b = noisy.run(w, default_config)
+    assert a.io_seconds != b.io_seconds
+    assert a.compute_seconds == b.compute_seconds
+
+
+def test_evaluate_charges_one_run(sim, default_config):
+    w = make_workload()
+    res = sim.evaluate(w, default_config, repeats=3)
+    single = sim.run(w, default_config)
+    assert res.charged_seconds == pytest.approx(single.runtime_seconds)
+    assert res.perf_mbps > 0
+    assert res.alpha == pytest.approx(1.0)
+
+
+def test_evaluate_perf_is_weighted_objective(sim, default_config):
+    w = make_workload()
+    res = sim.evaluate(w, default_config, repeats=1)
+    # write-only: perf == write bandwidth
+    assert res.perf_mbps == pytest.approx(res.write_bandwidth_mbps)
+
+
+def test_evaluate_rejects_zero_repeats(sim, default_config, small_workload):
+    with pytest.raises(ValueError):
+        sim.evaluate(small_workload, default_config, repeats=0)
+
+
+def test_tuned_beats_default(quiet_sim, default_config, tuned_config):
+    from repro.workloads import flash
+
+    w = flash()
+    base = quiet_sim.evaluate(w, default_config).perf_mbps
+    tuned = quiet_sim.evaluate(w, tuned_config).perf_mbps
+    assert tuned > 3 * base
+
+
+def test_memory_tier_ignores_lustre_parameters(sim, default_config, tuned_config):
+    w = make_workload().switched_to_memory()
+    a = sim.evaluate(w, default_config).perf_mbps
+    b = sim.evaluate(w, tuned_config.with_values(sieve_buf_size=64 * 1024)).perf_mbps
+    # Lustre/MPI-IO knobs have no effect on the memory tier.
+    assert a == pytest.approx(b, rel=0.02)
+
+
+def test_platform_scales_to_workload_nodes(default_config):
+    sim = IOStackSimulator(cori(4), NoiseModel.quiet())
+    small = make_workload(n_procs=64, n_nodes=2)
+    big = make_workload(n_procs=256, n_nodes=8)
+    t_small = sim.run(small, default_config).runtime_seconds
+    t_big = sim.run(big, default_config).runtime_seconds
+    # 4x the traffic over 4x the clients: runtime grows roughly linearly
+    # with volume plus bounded contention -- never quadratically.
+    assert 1.0 * t_small < t_big < 8 * t_small
+
+
+def test_report_summary_keys(sim, default_config, small_workload):
+    summary = sim.run(small_workload, default_config).summary()
+    for key in (
+        "app_bytes_written", "posix_bytes_written", "runtime_seconds",
+        "write_bandwidth_mbps", "meta_ops",
+    ):
+        assert key in summary

@@ -1,0 +1,60 @@
+"""Gym-style spaces and environment contract."""
+
+import numpy as np
+import pytest
+
+from repro.rl import Box, Discrete, Env
+
+
+def test_discrete_space(rng):
+    space = Discrete(4)
+    assert space.contains(0) and space.contains(3)
+    assert not space.contains(4) and not space.contains(-1)
+    assert not space.contains("1")
+    assert all(space.contains(space.sample(rng)) for _ in range(20))
+    with pytest.raises(ValueError):
+        Discrete(0)
+
+
+def test_box_space(rng):
+    space = Box(low=-1.0, high=1.0, shape=(3,))
+    assert space.contains(np.zeros(3))
+    assert not space.contains(np.full(3, 2.0))
+    assert not space.contains(np.zeros(4))
+    assert all(space.contains(space.sample(rng)) for _ in range(20))
+    with pytest.raises(ValueError):
+        Box(low=1.0, high=0.0, shape=(2,))
+    with pytest.raises(ValueError):
+        Box(low=0.0, high=1.0, shape=(0,))
+
+
+def test_env_contract():
+    class Counter(Env):
+        observation_space = Box(0.0, 10.0, (1,))
+        action_space = Discrete(2)
+
+        def __init__(self):
+            self.t = 0
+
+        def reset(self, rng):
+            self.t = 0
+            return np.array([0.0])
+
+        def step(self, action):
+            self.t += action
+            return np.array([float(self.t)]), float(action), self.t >= 3, {}
+
+    env = Counter()
+    obs = env.reset(np.random.default_rng(0))
+    assert env.observation_space.contains(obs)
+    total = 0.0
+    done = False
+    while not done:
+        obs, reward, done, info = env.step(1)
+        total += reward
+    assert total == 3.0
+
+
+def test_env_is_abstract():
+    with pytest.raises(TypeError):
+        Env()

@@ -1,0 +1,83 @@
+"""Replay buffers and the 5-iteration delayed-reward mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.rl import DelayedRewardBuffer, ReplayBuffer, Transition
+
+
+def tr(reward=0.0):
+    s = np.zeros(2)
+    return Transition(s, 0, reward, s, False)
+
+
+def test_replay_fifo_capacity():
+    buf = ReplayBuffer(capacity=3)
+    for i in range(5):
+        buf.push(tr(reward=float(i)))
+    assert len(buf) == 3
+    rewards = {t.reward for t in buf._buf}
+    assert rewards == {2.0, 3.0, 4.0}
+
+
+def test_replay_sampling(rng):
+    buf = ReplayBuffer()
+    buf.extend(tr(float(i)) for i in range(10))
+    batch = buf.sample(4, rng)
+    assert len(batch) == 4
+    big = buf.sample(100, rng)
+    assert len(big) == 10
+
+
+def test_replay_validation(rng):
+    buf = ReplayBuffer()
+    with pytest.raises(ValueError):
+        buf.sample(1, rng)
+    with pytest.raises(ValueError):
+        ReplayBuffer(capacity=0)
+    buf.push(tr())
+    with pytest.raises(ValueError):
+        buf.sample(0, rng)
+    buf.clear()
+    assert len(buf) == 0
+
+
+def test_delayed_rewards_mature_after_delay():
+    buf = DelayedRewardBuffer(delay=5)
+    s = np.zeros(1)
+    buf.remember(s, 0, iteration=0)
+    buf.remember(s, 1, iteration=1)
+
+    matured_early = buf.mature(4, lambda b, n: 99.0, s)
+    assert matured_early == []
+
+    matured = buf.mature(5, lambda born, now: float(now - born), s)
+    assert len(matured) == 1
+    assert matured[0].action == 0
+    assert matured[0].reward == 5.0
+
+    matured = buf.mature(6, lambda born, now: float(now - born), s)
+    assert len(matured) == 1 and matured[0].action == 1
+
+
+def test_done_flushes_everything():
+    buf = DelayedRewardBuffer(delay=5)
+    s = np.zeros(1)
+    for t in range(3):
+        buf.remember(s, t, iteration=t)
+    matured = buf.mature(3, lambda b, n: 1.0, s, done=True)
+    assert len(matured) == 3
+    assert all(t.done for t in matured)
+    assert len(buf) == 0
+
+
+def test_delay_zero_matures_immediately():
+    buf = DelayedRewardBuffer(delay=0)
+    s = np.zeros(1)
+    buf.remember(s, 0, iteration=7)
+    assert len(buf.mature(7, lambda b, n: 1.0, s)) == 1
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        DelayedRewardBuffer(delay=-1)

@@ -1,0 +1,78 @@
+"""Lifecycle viability analysis (Figure 12 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.iostack import IOStackSimulator, NoiseModel, cori
+from repro.tuners import HSTuner, NoStop
+from repro.tuners.lifecycle import (
+    LifecycleModel,
+    crossover_point,
+    lifecycle_model,
+    untuned_model,
+    viability_point,
+)
+from tests.conftest import make_workload
+
+
+def test_lifecycle_model_linear():
+    m = LifecycleModel("x", tuning_minutes=100.0, run_minutes=2.0)
+    assert m.total_minutes(0) == 100.0
+    assert m.total_minutes(50) == 200.0
+    with pytest.raises(ValueError):
+        m.total_minutes(-1)
+    with pytest.raises(ValueError):
+        LifecycleModel("x", tuning_minutes=-1, run_minutes=1)
+    with pytest.raises(ValueError):
+        LifecycleModel("x", tuning_minutes=0, run_minutes=0)
+
+
+def test_viability_point_formula():
+    tuned = LifecycleModel("t", tuning_minutes=100.0, run_minutes=2.0)
+    untuned = LifecycleModel("u", tuning_minutes=0.0, run_minutes=4.0)
+    n = viability_point(tuned, untuned)
+    assert n == 50
+    assert tuned.total_minutes(n) <= untuned.total_minutes(n)
+    assert tuned.total_minutes(n - 1) > untuned.total_minutes(n - 1)
+
+
+def test_viability_none_when_tuning_does_not_help():
+    tuned = LifecycleModel("t", tuning_minutes=100.0, run_minutes=5.0)
+    untuned = LifecycleModel("u", tuning_minutes=0.0, run_minutes=4.0)
+    assert viability_point(tuned, untuned) is None
+
+
+def test_crossover_point():
+    fast_tune = LifecycleModel("a", tuning_minutes=100.0, run_minutes=3.0)
+    slow_tune = LifecycleModel("b", tuning_minutes=1000.0, run_minutes=2.5)
+    n = crossover_point(fast_tune, slow_tune)
+    assert n == 1800
+    assert slow_tune.total_minutes(n) <= fast_tune.total_minutes(n)
+
+
+def test_crossover_none_when_b_never_wins():
+    a = LifecycleModel("a", tuning_minutes=10.0, run_minutes=1.0)
+    b = LifecycleModel("b", tuning_minutes=100.0, run_minutes=2.0)
+    assert crossover_point(a, b) is None
+    assert crossover_point(b, a) == 0  # a dominates immediately
+
+
+def test_models_from_tuning_run():
+    sim = IOStackSimulator(cori(2), NoiseModel.quiet())
+    w = make_workload()
+    tuner = HSTuner(sim, stopper=NoStop(), rng=np.random.default_rng(0))
+    res = tuner.tune(w, max_iterations=8)
+    tuned = lifecycle_model(sim, w, res)
+    base = untuned_model(sim, w)
+    assert tuned.tuning_minutes == pytest.approx(res.total_minutes)
+    assert tuned.run_minutes < base.run_minutes
+    n = viability_point(tuned, base)
+    assert n is not None and n > 0
+
+
+def test_model_requires_best_config():
+    from repro.tuners.base import TuningResult
+
+    sim = IOStackSimulator(cori(2), NoiseModel.quiet())
+    with pytest.raises(ValueError):
+        lifecycle_model(sim, make_workload(), TuningResult("t", "w"))
