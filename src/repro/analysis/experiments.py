@@ -22,6 +22,7 @@ from repro.discovery.kernel import DiscoveryOptions, discover_io
 from repro.discovery.modelgen import workload_from_source
 from repro.discovery.reducers import LoopReduction
 from repro.iostack.config import StackConfiguration
+from repro.iostack.evalcache import EvaluationCache
 from repro.iostack.parameters import LIBRARY_CATALOG, TUNED_SPACE, stack_permutations
 from repro.iostack.simulator import WorkloadLike
 from repro.tuners.base import TuningResult
@@ -153,9 +154,10 @@ def fig02_log_curves(seed: int = 0, iterations: int = 50) -> LogCurvesResult:
     ctx = make_context(seed)
     results: dict[str, TuningResult] = {}
     fits: dict[str, float] = {}
+    cache = EvaluationCache()
     for salt, workload in enumerate((hacc(), flash(), vpic())):
         sim = ctx.simulator_for(workload.n_nodes, salt=salt + 20)
-        tuner = HSTuner(sim, stopper=NoStop(), rng=ctx.rng(salt + 20))
+        tuner = HSTuner(sim, stopper=NoStop(), rng=ctx.rng(salt + 20), cache=cache)
         res = tuner.tune(workload, max_iterations=iterations)
         results[workload.name] = res
         fits[workload.name] = _log_fit_r2(res.perf_series())
@@ -235,9 +237,10 @@ def fig08_discovery(seed: int = 0, iterations: int = 40) -> DiscoveryRoTIResult:
     # noise), so the time difference is the evaluation-cost saving of the
     # kernel, not GA luck -- the quantity Figure 8 isolates.
     results = []
+    cache = EvaluationCache()
     for workload in (app, kernel_workload, reduced_workload):
         sim = ctx.simulator_for(app.n_nodes, salt=80)
-        tuner = HSTuner(sim, stopper=NoStop(), rng=ctx.rng(80))
+        tuner = HSTuner(sim, stopper=NoStop(), rng=ctx.rng(80), cache=cache)
         results.append(tuner.tune(workload, max_iterations=iterations))
     app_res, kern_res, red_res = results
 
@@ -376,6 +379,7 @@ def fig09_impact_first(
 
     impact_runs: list[TuningResult] = []
     base_runs: list[TuningResult] = []
+    cache = EvaluationCache()
     for r in range(repeats):
         sim_a = ctx.simulator_for(workload.n_nodes, salt=90 + 10 * r)
         tunio = TunIOTuner(
@@ -383,10 +387,13 @@ def fig09_impact_first(
             smart_config=ctx.fresh_agents().smart_config,
             stopper=NoStop(),  # isolate the component: no early stopping
             rng=ctx.rng(90 + 10 * r),
+            cache=cache,
         )
         impact_runs.append(tunio.tune(workload, max_iterations=iterations))
         sim_b = ctx.simulator_for(workload.n_nodes, salt=91 + 10 * r)
-        baseline = HSTuner(sim_b, stopper=NoStop(), rng=ctx.rng(90 + 10 * r))
+        baseline = HSTuner(
+            sim_b, stopper=NoStop(), rng=ctx.rng(90 + 10 * r), cache=cache
+        )
         base_runs.append(baseline.tune(workload, max_iterations=iterations))
 
     # The paper's yardstick is the 2.3 GB/s level both pipelines reach on
@@ -473,7 +480,7 @@ def fig10_early_stopping(seed: int = 0, iterations: int = 50) -> EarlyStoppingRe
     ctx = make_context(seed)
     workload = hacc()
     sim = ctx.simulator_for(workload.n_nodes, salt=100)
-    tuner = HSTuner(sim, stopper=NoStop(), rng=ctx.rng(100))
+    tuner = HSTuner(sim, stopper=NoStop(), rng=ctx.rng(100), cache=EvaluationCache())
     full = tuner.tune(workload, max_iterations=iterations)
     history = full.history
 
@@ -600,16 +607,20 @@ def fig11_pipeline(seed: int = 0, iterations: int = 50) -> PipelineResult:
     eval_sim = ctx.simulator_for(app.n_nodes, salt=110)
     baseline = eval_sim.evaluate(app, StackConfiguration.default()).perf_mbps
 
+    cache = EvaluationCache()
+
     def run(name: str, target: WorkloadLike, tuner_kind: str, salt: int) -> PipelineVariant:
         sim = ctx.simulator_for(app.n_nodes, salt=salt)
         normalizer = ctx.normalizer_for(app.n_nodes)
         rng = ctx.rng(salt)
         if tuner_kind == "tunio":
-            tuner: HSTuner = build_tunio(sim, ctx.fresh_agents(), normalizer, rng=rng)
+            tuner: HSTuner = build_tunio(
+                sim, ctx.fresh_agents(), normalizer, rng=rng, cache=cache
+            )
         elif tuner_kind == "heuristic":
-            tuner = HSTuner(sim, stopper=HeuristicStopper(), rng=rng)
+            tuner = HSTuner(sim, stopper=HeuristicStopper(), rng=rng, cache=cache)
         else:
-            tuner = HSTuner(sim, stopper=NoStop(), rng=rng)
+            tuner = HSTuner(sim, stopper=NoStop(), rng=rng, cache=cache)
         res = tuner.tune(target, max_iterations=iterations)
         config = res.best_config or StackConfiguration.default()
         app_perf = eval_sim.evaluate(app, config).perf_mbps

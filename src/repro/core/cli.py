@@ -23,6 +23,7 @@ from repro.discovery.kernel import DiscoveryOptions, discover_io
 from repro.discovery.reducers import IOPathSwitching, LoopReduction, Reducer
 from repro.iostack.cluster import cori
 from repro.iostack.config import to_xml
+from repro.iostack.evalcache import EvaluationCache
 from repro.iostack.noise import NoiseModel
 from repro.iostack.simulator import IOStackSimulator
 from repro.tuners.hstuner import HSTuner
@@ -79,17 +80,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="npz checkpoint for the offline-trained agents: loaded when "
              "present, written after training otherwise",
     )
+    parser.add_argument(
+        "--no-eval-cache", action="store_true",
+        help="disable the evaluation (trace) cache; results are identical, "
+             "only slower",
+    )
+    parser.add_argument(
+        "--batch-workers", type=int, default=None, metavar="N",
+        help="thread-pool size for building stack traces inside a GA "
+             "generation (default: serial)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.batch_workers is not None and args.batch_workers < 1:
+        parser.error("--batch-workers must be >= 1")
     rng = np.random.default_rng(args.seed)
 
     workload = _WORKLOADS[args.workload]()
     platform = cori(workload.n_nodes)
     simulator = IOStackSimulator(platform, NoiseModel(seed=args.seed))
     normalizer = PerfNormalizer.for_platform(platform, workload.n_nodes)
+    eval_cache = None if args.no_eval_cache else EvaluationCache()
 
     target = workload
     use_kernel = args.use_kernel or args.loop_reduction or args.path_switch
@@ -128,18 +143,27 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print("offline training (sweep + PCA + log-curve RL)...")
             training = [vpic(), flash(), hacc()]
-            agents = train_tunio_agents(simulator, training, normalizer, rng=rng)
+            agents = train_tunio_agents(
+                simulator, training, normalizer, rng=rng, cache=eval_cache
+            )
             if args.agents_cache:
                 save_agents(agents, args.agents_cache)
                 print(f"saved trained agents to {args.agents_cache}")
         tuner = build_tunio(
             simulator, agents, normalizer,
             expected_runs=args.expected_runs, rng=rng,
+            cache=eval_cache, batch_workers=args.batch_workers,
         )
     elif args.tuner == "hstuner":
-        tuner = HSTuner(simulator, stopper=NoStop(), rng=rng)
+        tuner = HSTuner(
+            simulator, stopper=NoStop(), rng=rng,
+            cache=eval_cache, batch_workers=args.batch_workers,
+        )
     else:
-        tuner = HSTuner(simulator, stopper=HeuristicStopper(), rng=rng)
+        tuner = HSTuner(
+            simulator, stopper=HeuristicStopper(), rng=rng,
+            cache=eval_cache, batch_workers=args.batch_workers,
+        )
 
     print(f"tuning {target.name} with {tuner.name} (budget {args.iterations})...")
     result = tuner.tune(target, max_iterations=args.iterations)
@@ -157,6 +181,8 @@ def main(argv: list[str] | None = None) -> int:
         f"in {result.total_minutes:.1f} simulated minutes "
         f"({result.total_evaluations} evaluations, {result.stop_reason})"
     )
+    if result.eval_stats is not None:
+        print(f"fastpath: {result.eval_stats.describe()}")
     if result.best_config is not None:
         print("\nH5Tuner override file:")
         print(to_xml(result.best_config))

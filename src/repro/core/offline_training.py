@@ -28,6 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.iostack.config import StackConfiguration
+from repro.iostack.evalcache import EvaluationCache
 from repro.iostack.parameters import ParameterSpace, TUNED_SPACE
 from repro.iostack.simulator import IOStackSimulator, WorkloadLike
 from repro.rl.curves import LogCurveGenerator
@@ -68,15 +69,25 @@ def parameter_sweep(
     random_samples: int = 8,
     rng: np.random.Generator | None = None,
     repeats: int = 3,
+    cache: EvaluationCache | None = None,
 ) -> SweepResult:
     """The paper's "simple parameter sweep": one-at-a-time axis sweeps
-    from the default configuration plus uniform random samples."""
+    from the default configuration plus uniform random samples.
+
+    ``cache`` memoizes stack traces across the sweep (and across sweeps
+    sharing the cache), so re-drawn configurations -- random samples
+    colliding with axis points, the default revisited per axis -- skip
+    the stack traversal.  Results are bit-identical either way.
+    """
     rng = rng if rng is not None else np.random.default_rng()
     configs: list[np.ndarray] = []
     perfs: list[float] = []
 
     def run(config: StackConfiguration) -> None:
-        result = simulator.evaluate(workload, config, repeats=repeats)
+        if cache is not None:
+            result = cache.evaluate(simulator, workload, config, repeats=repeats)
+        else:
+            result = simulator.evaluate(workload, config, repeats=repeats)
         configs.append(config.normalized())
         perfs.append(result.perf_mbps)
 
@@ -183,13 +194,15 @@ def train_tunio_agents(
     space: ParameterSpace = TUNED_SPACE,
     rng: np.random.Generator | None = None,
     curve_generator: LogCurveGenerator | None = None,
+    cache: EvaluationCache | None = None,
 ) -> TunIOAgents:
     """The full offline phase: sweep the representative kernels, run the
     PCA, pre-train the subset picker, and train the early stopper on
-    generated log curves."""
+    generated log curves.  All sweeps share ``cache`` when given."""
     rng = rng if rng is not None else np.random.default_rng()
     sweeps = [
-        parameter_sweep(simulator, w, space, rng=rng) for w in training_workloads
+        parameter_sweep(simulator, w, space, rng=rng, cache=cache)
+        for w in training_workloads
     ]
     impact = impact_from_sweeps(sweeps)
 

@@ -14,10 +14,22 @@ Toolbox contract (all rng arguments are numpy Generators):
 * ``select(population, rng) -> (Individual, Individual)`` -- two parents.
 * ``mate(a, b, rng) -> (Individual, Individual)`` -- two offspring.
 * ``mutate(individual, rng) -> Individual``.
+* ``evaluate_batch(individuals) -> sequence[float]`` -- optional; when
+  registered, a generation's unevaluated individuals are dispatched as
+  one batch (in population order) instead of one ``evaluate`` call each.
 
 Only individuals with no fitness are (re)evaluated, matching DEAP's
 invalid-fitness convention -- elites carry their fitness across
 generations for free.
+
+Duplicate genomes within a generation can additionally be deduplicated
+(``dedupe_duplicates=True``): only one representative per distinct
+genome is dispatched and its fitness is shared by the duplicates.  This
+is exact for deterministic evaluators, but it changes how many times a
+stochastic evaluator is consulted (and hence any noise-stream or
+clock-charging side effects), so it is off by default; the stack tuners
+instead deduplicate at the trace level inside their batch evaluator,
+which preserves per-evaluation accounting bit-identically.
 """
 
 from __future__ import annotations
@@ -43,8 +55,10 @@ class GenerationStats:
     best_fitness: float
     mean_fitness: float
     best: Individual
-    #: Fitness evaluations performed in this generation.
+    #: Individuals assigned a fitness in this generation.
     evaluations: int
+    #: Distinct genomes among them (evaluations - distinct = duplicates).
+    distinct_genomes: int = 0
 
 
 class EvolutionEngine:
@@ -68,6 +82,7 @@ class EvolutionEngine:
         population_size: int,
         n_elites: int = 1,
         rng: np.random.Generator | None = None,
+        dedupe_duplicates: bool = False,
     ):
         toolbox.validate()
         if population_size < 3:
@@ -77,6 +92,7 @@ class EvolutionEngine:
         self.toolbox = toolbox
         self.population_size = population_size
         self.n_elites = n_elites
+        self.dedupe_duplicates = dedupe_duplicates
         self.rng = rng if rng is not None else np.random.default_rng()
         self.population: list[Individual] = []
         self.history: list[GenerationStats] = []
@@ -171,12 +187,33 @@ class EvolutionEngine:
 
     # -- internals ---------------------------------------------------------------------
 
+    @staticmethod
+    def duplicate_groups(individuals: Sequence[Individual]) -> list[list[int]]:
+        """Group indices of ``individuals`` by identical genome, in
+        first-seen order.  ``[[0, 3], [1], [2]]`` means individuals 0 and
+        3 share a genome."""
+        groups: dict[bytes, list[int]] = {}
+        for i, ind in enumerate(individuals):
+            groups.setdefault(ind.genome.tobytes(), []).append(i)
+        return list(groups.values())
+
     def _evaluate_and_record(self) -> GenerationStats:
-        evaluations = 0
-        for ind in self.population:
-            if not ind.evaluated:
-                ind.fitness = float(self.toolbox.evaluate(ind))
-                evaluations += 1
+        pending = [ind for ind in self.population if not ind.evaluated]
+        groups = self.duplicate_groups(pending)
+        if pending:
+            if self.dedupe_duplicates and len(groups) < len(pending):
+                # Dispatch one representative per distinct genome; the
+                # duplicates inherit its fitness.  Exact only for
+                # deterministic evaluators (see module docstring).
+                reps = [pending[g[0]] for g in groups]
+                fits = self._dispatch(reps)
+                for group, fit in zip(groups, fits):
+                    for i in group:
+                        pending[i].fitness = fit
+            else:
+                fits = self._dispatch(pending)
+                for ind, fit in zip(pending, fits):
+                    ind.fitness = fit
         fitnesses = np.array([ind.fitness for ind in self.population], dtype=float)
         best = self.best
         stats = GenerationStats(
@@ -184,7 +221,22 @@ class EvolutionEngine:
             best_fitness=float(best.fitness),  # type: ignore[arg-type]
             mean_fitness=float(fitnesses.mean()),
             best=best,
-            evaluations=evaluations,
+            evaluations=len(pending),
+            distinct_genomes=len(groups),
         )
         self.history.append(stats)
         return stats
+
+    def _dispatch(self, individuals: list[Individual]) -> list[float]:
+        """Evaluate a list of individuals, through ``evaluate_batch``
+        when the toolbox registers one, else one ``evaluate`` call each
+        (population order either way)."""
+        if "evaluate_batch" in self.toolbox:
+            fits = [float(f) for f in self.toolbox.evaluate_batch(individuals)]
+            if len(fits) != len(individuals):
+                raise ValueError(
+                    f"evaluate_batch returned {len(fits)} fitnesses "
+                    f"for {len(individuals)} individuals"
+                )
+            return fits
+        return [float(self.toolbox.evaluate(ind)) for ind in individuals]

@@ -16,9 +16,20 @@ __all__ = ["Toolbox"]
 
 
 class Toolbox:
-    """Named registry of callables with baked-in default arguments."""
+    """Named registry of callables with baked-in default arguments.
+
+    Beyond the five required entries the engine recognises one optional
+    entry, ``evaluate_batch(individuals) -> sequence[float]``: when
+    registered, each generation's unevaluated individuals are dispatched
+    as a single call (in population order) instead of one ``evaluate``
+    call each, letting the evaluator share work across the generation
+    (trace reuse, deduplication, worker pools).  It must return one
+    fitness per input individual, aligned with the input order.
+    """
 
     _REQUIRED = ("generate", "evaluate", "mate", "mutate", "select")
+    #: Optional entries the engine consults when present.
+    OPTIONAL = ("evaluate_batch",)
 
     def __init__(self) -> None:
         self._registry: dict[str, Callable[..., Any]] = {}

@@ -10,6 +10,12 @@ from .clock import SimulatedClock
 from .cluster import Platform, cori, testbed
 from .config import StackConfiguration, from_xml, to_xml
 from .darshan import DarshanReport, PhaseRecord
+from .evalcache import (
+    CacheStats,
+    EvaluationCache,
+    EvaluationStats,
+    workload_fingerprint,
+)
 from .noise import NoiseModel
 from .parameters import (
     LIBRARY_CATALOG,
@@ -21,7 +27,14 @@ from .parameters import (
 )
 from .phase import IOPhase
 from .requests import MAX_SAMPLE, MetadataStream, RequestStream
-from .simulator import EvaluationResult, IOStackSimulator, WorkloadLike
+from .simulator import (
+    EvaluationResult,
+    IOStackSimulator,
+    PhaseTrace,
+    StackTrace,
+    StreamTrace,
+    WorkloadLike,
+)
 
 __all__ = [
     "SimulatedClock",
@@ -46,5 +59,12 @@ __all__ = [
     "RequestStream",
     "EvaluationResult",
     "IOStackSimulator",
+    "StackTrace",
+    "PhaseTrace",
+    "StreamTrace",
     "WorkloadLike",
+    "CacheStats",
+    "EvaluationCache",
+    "EvaluationStats",
+    "workload_fingerprint",
 ]

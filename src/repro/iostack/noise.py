@@ -6,11 +6,25 @@ three times and averaging bandwidths.  :class:`NoiseModel` reproduces
 that variability as a multiplicative lognormal factor on I/O time plus
 occasional contention spikes, deterministically derived from a seed and a
 run counter so experiments are reproducible.
+
+Sequence contract
+-----------------
+A model is a *stateful stream*: factor ``k`` of the stream depends only
+on ``(seed, k)``, and the internal run counter records how many factors
+have been consumed so far.  Every sampling API advances the counter by
+exactly the number of factors it returns -- :meth:`sample_factors(n)
+<sample_factors>` consumes the counter identically to ``n`` calls of
+:meth:`sample_factor`, so a vectorized consumer and a loop observe the
+same sequence.  Because the counter is mutable shared state, handing one
+model instance to two experiments interleaves their streams.  Use
+:meth:`clone` to duplicate a model *including* its position (replay from
+here), or :meth:`spawn` to derive an independent stream (fresh counter,
+decorrelated seed) for a worker or a second experiment.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -49,15 +63,62 @@ class NoiseModel:
         if self.spike_slowdown < 1.0:
             raise ValueError("spike_slowdown must be >= 1")
 
+    @property
+    def deterministic(self) -> bool:
+        """True when every factor is exactly 1.0 (quiet model)."""
+        return self.sigma == 0 and self.spike_probability == 0
+
     def sample_factor(self) -> float:
         """Next multiplicative factor on I/O time (>= ~0.7, unbounded
         above during spikes)."""
-        rng = np.random.default_rng((self.seed, self._counter))
+        counter = self._counter
         self._counter += 1
+        if self.deterministic:
+            return 1.0
+        rng = np.random.default_rng((self.seed, counter))
         factor = float(rng.lognormal(mean=0.0, sigma=self.sigma)) if self.sigma > 0 else 1.0
         if self.spike_probability > 0 and rng.random() < self.spike_probability:
             factor *= self.spike_slowdown
         return factor
+
+    def sample_factors(self, n: int) -> np.ndarray:
+        """The next ``n`` factors as one array.
+
+        Consumes the run counter identically to ``n`` calls of
+        :meth:`sample_factor`: factor ``i`` of the result is derived from
+        ``(seed, counter + i)``.  Each factor has its own counter-keyed
+        generator, so the draw itself cannot be a single vectorized rng
+        call -- but quiet models short-circuit to ``ones(n)`` and noisy
+        models pay only the per-counter generator setup.
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        if self.deterministic:
+            self._counter += n
+            return np.ones(n)
+        out = np.empty(n)
+        for i in range(n):
+            out[i] = self.sample_factor()
+        return out
+
+    # -- copy semantics ---------------------------------------------------------
+
+    def clone(self) -> "NoiseModel":
+        """An exact copy *including* the run counter: the clone replays
+        the remainder of this model's sequence without advancing it."""
+        return replace(self)
+
+    def spawn(self, stream: int = 1) -> "NoiseModel":
+        """An independent model for a parallel worker or a second
+        experiment: same volatility shape, a seed decorrelated by
+        ``stream`` and a fresh counter.  ``spawn(0)`` restarts this
+        model's own sequence from the beginning."""
+        if stream < 0:
+            raise ValueError("stream must be >= 0")
+        # Deterministic across processes (no str hashing): golden-ratio
+        # mixing of the stream index into the base seed.
+        seed = self.seed if stream == 0 else (self.seed ^ (0x9E3779B9 * stream)) & 0x7FFFFFFF
+        return replace(self, seed=seed, _counter=0)
 
     @classmethod
     def quiet(cls) -> "NoiseModel":

@@ -16,6 +16,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.iostack.config import StackConfiguration
+from repro.iostack.evalcache import EvaluationStats
 
 __all__ = ["IterationRecord", "TuningResult", "Tuner"]
 
@@ -57,6 +58,9 @@ class TuningResult:
     stop_reason: str = "completed"
     #: Iteration index at which the stopper fired (None if it didn't).
     stopped_at: int | None = None
+    #: Evaluation-fastpath accounting (cache hit rate, trace reuse...);
+    #: populated by tuners that track it, None otherwise.
+    eval_stats: EvaluationStats | None = None
 
     @property
     def best_perf(self) -> float:
@@ -75,6 +79,17 @@ class TuningResult:
     @property
     def total_evaluations(self) -> int:
         return sum(r.evaluations for r in self.history)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Evaluation-cache hit rate of the run (0.0 when untracked)."""
+        return self.eval_stats.cache_hit_rate if self.eval_stats else 0.0
+
+    @property
+    def trace_reuse_count(self) -> int:
+        """Simulated runs served by replaying a stored trace instead of
+        traversing the stack (0 when untracked)."""
+        return self.eval_stats.trace_reuse if self.eval_stats else 0
 
     @property
     def gain(self) -> float:

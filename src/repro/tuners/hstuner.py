@@ -11,10 +11,26 @@ The class exposes one extension point, :meth:`_select_subset`, returning
 the parameter names the next generation may vary (None = all).  TunIO's
 Smart Configuration Generation plugs in there; the base class always
 returns None, which *is* HSTuner.
+
+Evaluation fastpath
+-------------------
+Evaluations ride the simulator's trace/replay fastpath and, when a
+:class:`~repro.iostack.evalcache.EvaluationCache` is attached, re-visited
+configurations (elites re-drawn by crossover, duplicate genomes, the
+default baseline) skip the stack traversal entirely.  Each generation is
+additionally dispatched as one batch: noise factors are pre-drawn in
+population order, traces are deduplicated per distinct genome (and
+optionally built by a thread pool), then every individual replays its
+own factor slice.  All of this is bit-identical to the naive
+per-individual, per-repeat loop -- same fitnesses, same noise-stream
+consumption, same clock charges -- the fastpath only removes redundant
+deterministic work.  :attr:`TuningResult.eval_stats` records what was
+saved.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
 import numpy as np
@@ -29,13 +45,18 @@ from repro.ga import (
 )
 from repro.iostack.clock import SimulatedClock
 from repro.iostack.config import StackConfiguration
+from repro.iostack.evalcache import EvaluationCache, EvaluationStats
 from repro.iostack.parameters import TUNED_SPACE, ParameterSpace
-from repro.iostack.simulator import IOStackSimulator, WorkloadLike
+from repro.iostack.simulator import IOStackSimulator, StackTrace, WorkloadLike
 
 from .base import IterationRecord, Tuner, TuningResult
 from .stoppers import NoStop, Stopper
 
 __all__ = ["HSTuner"]
+
+#: Attempts at perturbing the seed genome before accepting a duplicate
+#: (only a degenerate space -- all cardinalities 1 -- exhausts this).
+_MAX_PERTURBATION_ATTEMPTS = 16
 
 
 class HSTuner(Tuner):
@@ -58,6 +79,24 @@ class HSTuner(Tuner):
         Per-gene mutation rate of offspring.
     rng:
         Seeded generator for reproducibility.
+    cache:
+        Optional evaluation cache; repeat configurations reuse their
+        stored trace (results stay bit-identical, the simulated clock is
+        still charged on hits).
+    batch_evaluation:
+        Dispatch each generation through the toolbox's ``evaluate_batch``
+        entry (deduplicates traces within the generation); results are
+        bit-identical to per-individual evaluation.
+    batch_workers:
+        Size of the thread pool building missing traces inside a batch;
+        None (default) builds them serially.  Determinism is unaffected
+        (noise factors are pre-drawn in population order).
+    dedupe_duplicates:
+        Forwarded to :class:`~repro.ga.engine.EvolutionEngine`: share one
+        fitness among identical genomes of a generation.  Off by default
+        because it changes noise and clock accounting for stochastic
+        evaluations (the trace-level dedupe above already removes the
+        redundant work without that side effect).
     """
 
     name = "hstuner"
@@ -72,7 +111,13 @@ class HSTuner(Tuner):
         repeats: int = 3,
         mutation_probability: float = 0.12,
         rng: np.random.Generator | None = None,
+        cache: EvaluationCache | None = None,
+        batch_evaluation: bool = True,
+        batch_workers: int | None = None,
+        dedupe_duplicates: bool = False,
     ):
+        if batch_workers is not None and batch_workers < 1:
+            raise ValueError("batch_workers must be >= 1 (or None for serial)")
         self.simulator = simulator
         self.space = space
         self.population_size = population_size
@@ -81,8 +126,14 @@ class HSTuner(Tuner):
         self.repeats = repeats
         self.mutation_probability = mutation_probability
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.cache = cache
+        self.batch_evaluation = batch_evaluation
+        self.batch_workers = batch_workers
+        self.dedupe_duplicates = dedupe_duplicates
         self.clock = SimulatedClock()
         self._active_subset_size: int | None = None
+        self._n_evaluations = 0
+        self._stats_base: tuple[int, int, int, int, int] = (0, 0, 0, 0, 0)
 
     # -- extension point -----------------------------------------------------
 
@@ -103,6 +154,7 @@ class HSTuner(Tuner):
             raise ValueError("max_iterations must be >= 1")
         self.clock.reset()
         self.stopper.reset()
+        self._begin_stats_window()
 
         result = TuningResult(tuner_name=self.name, workload_name=workload.name)
         result.baseline_perf = self._evaluate_config(
@@ -117,6 +169,11 @@ class HSTuner(Tuner):
             generation_evals.append(perf)
             return perf
 
+        def evaluate_batch(individuals: Sequence[Individual]) -> list[float]:
+            perfs = self._evaluate_generation(workload, individuals)
+            generation_evals.extend(perfs)
+            return perfs
+
         def generate(n: int, rng: np.random.Generator) -> list[Individual]:
             # HSTuner explores outward from the library defaults: the
             # initial population is the default configuration plus
@@ -126,14 +183,7 @@ class HSTuner(Tuner):
             default = Individual(self.space.encode(self.space.default_values()))
             population = [default]
             while len(population) < n:
-                population.append(
-                    uniform_reset_mutation(
-                        default,
-                        rng,
-                        cardinalities=self.space.cardinalities,
-                        per_gene_probability=0.15,
-                    )
-                )
+                population.append(self._perturbed(default, rng))
             return population
 
         def mutate(ind: Individual, rng: np.random.Generator) -> Individual:
@@ -158,12 +208,15 @@ class HSTuner(Tuner):
         toolbox.register("select", tournament_pair)
         toolbox.register("mate", uniform_crossover)
         toolbox.register("mutate", mutate)
+        if self.batch_evaluation:
+            toolbox.register("evaluate_batch", evaluate_batch)
 
         engine = EvolutionEngine(
             toolbox,
             population_size=self.population_size,
             n_elites=self.n_elites,
             rng=self.rng,
+            dedupe_duplicates=self.dedupe_duplicates,
         )
 
         # Preserved so a session can resume later (interactive refinement).
@@ -182,6 +235,23 @@ class HSTuner(Tuner):
             raise ValueError("extra_iterations must be >= 1")
         self._run_iterations(extra_iterations)
         return self._result
+
+    def _perturbed(self, seed: Individual, rng: np.random.Generator) -> Individual:
+        """A perturbation of the seed genome that actually differs from
+        it.  A ~15% per-gene reset leaves every gene untouched for ~14%
+        of draws; re-drawing those avoids silently spending a full
+        evaluation on a duplicate of the seed."""
+        candidate = seed
+        for _ in range(_MAX_PERTURBATION_ATTEMPTS):
+            candidate = uniform_reset_mutation(
+                seed,
+                rng,
+                cardinalities=self.space.cardinalities,
+                per_gene_probability=0.15,
+            )
+            if not candidate.same_genome(seed):
+                return candidate
+        return candidate  # degenerate space: nothing can differ
 
     def _run_iterations(self, n_iterations: int) -> None:
         engine, result = self._engine, self._result
@@ -223,13 +293,115 @@ class HSTuner(Tuner):
         result.best_config = StackConfiguration.from_genome(
             self.space, engine.best.genome
         )
+        result.eval_stats = self._collect_stats()
 
     # -- evaluation ---------------------------------------------------------------
 
     def _evaluate_config(
         self, workload: WorkloadLike, config: StackConfiguration, charge: bool
     ) -> float:
-        evaluation = self.simulator.evaluate(workload, config, repeats=self.repeats)
+        if self.cache is not None:
+            evaluation = self.cache.evaluate(
+                self.simulator, workload, config, repeats=self.repeats
+            )
+        else:
+            evaluation = self.simulator.evaluate(workload, config, repeats=self.repeats)
+        self._n_evaluations += 1
         if charge:
+            # Charged on cache hits too: a hit saves simulation work on
+            # our side, not testbed time on the simulated cluster.
             self.clock.charge_evaluation(evaluation.charged_seconds)
         return evaluation.perf_mbps
+
+    def _evaluate_generation(
+        self, workload: WorkloadLike, individuals: Sequence[Individual]
+    ) -> list[float]:
+        """Evaluate one generation as a batch, bit-identically to a
+        per-individual loop.
+
+        Noise factors are pre-drawn in population order (so the noise
+        stream advances exactly as the sequential path would), traces
+        are built once per distinct genome, and each individual replays
+        its own factor slice and charges the clock.
+        """
+        configs = [
+            StackConfiguration.from_genome(self.space, ind.genome)
+            for ind in individuals
+        ]
+        factors = self.simulator.noise.sample_factors(self.repeats * len(configs))
+        traces = self._traces_for(workload, configs)
+        perfs: list[float] = []
+        for i, trace in enumerate(traces):
+            window = factors[i * self.repeats : (i + 1) * self.repeats]
+            evaluation = self.simulator.evaluate_trace_with_factors(trace, window)
+            self._n_evaluations += 1
+            self.clock.charge_evaluation(evaluation.charged_seconds)
+            perfs.append(evaluation.perf_mbps)
+        return perfs
+
+    def _traces_for(
+        self, workload: WorkloadLike, configs: Sequence[StackConfiguration]
+    ) -> list[StackTrace]:
+        """One trace per config, built once per distinct configuration
+        (through the cache when attached, a thread pool when asked)."""
+        order: list[StackConfiguration] = []
+        index: dict[StackConfiguration, int] = {}
+        for config in configs:
+            if config not in index:
+                index[config] = len(order)
+                order.append(config)
+
+        traces: list[StackTrace | None] = [None] * len(order)
+        missing: list[int] = []
+        for j, config in enumerate(order):
+            cached = (
+                self.cache.lookup(self.simulator.platform, workload, config)
+                if self.cache is not None
+                else None
+            )
+            if cached is None:
+                missing.append(j)
+            else:
+                traces[j] = cached
+
+        if missing:
+            if self.batch_workers is not None and len(missing) > 1:
+                with ThreadPoolExecutor(max_workers=self.batch_workers) as pool:
+                    built = list(
+                        pool.map(
+                            lambda j: self.simulator.trace(workload, order[j]), missing
+                        )
+                    )
+            else:
+                built = [self.simulator.trace(workload, order[j]) for j in missing]
+            for j, trace in zip(missing, built):
+                traces[j] = trace
+                if self.cache is not None:
+                    self.cache.store(self.simulator.platform, workload, order[j], trace)
+
+        return [traces[index[config]] for config in configs]  # type: ignore[misc]
+
+    # -- fastpath accounting ----------------------------------------------------
+
+    def _begin_stats_window(self) -> None:
+        self._n_evaluations = 0
+        cache = self.cache
+        self._stats_base = (
+            self.simulator.traces_built,
+            self.simulator.trace_replays,
+            cache.hits if cache else 0,
+            cache.misses if cache else 0,
+            cache.evictions if cache else 0,
+        )
+
+    def _collect_stats(self) -> EvaluationStats:
+        built0, replays0, hits0, misses0, evict0 = self._stats_base
+        cache = self.cache
+        return EvaluationStats(
+            evaluations=self._n_evaluations,
+            cache_hits=(cache.hits - hits0) if cache else 0,
+            cache_misses=(cache.misses - misses0) if cache else 0,
+            cache_evictions=(cache.evictions - evict0) if cache else 0,
+            traces_built=self.simulator.traces_built - built0,
+            trace_replays=self.simulator.trace_replays - replays0,
+        )

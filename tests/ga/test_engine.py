@@ -160,3 +160,113 @@ def test_seeded_runs_are_reproducible():
     sa = a.run(10)
     sb = b.run(10)
     assert [s.best_fitness for s in sa] == [s.best_fitness for s in sb]
+
+
+# -- batched evaluation ---------------------------------------------------------
+
+
+def make_batch_engine(pop=8, elites=1, seed=0, batches=None, dedupe=False,
+                      batch_fn=None):
+    toolbox = make_toolbox()
+    batches = batches if batches is not None else []
+
+    def evaluate_batch(individuals):
+        batches.append(len(individuals))
+        return [float(ind.genome.sum()) for ind in individuals]
+
+    toolbox.register("evaluate_batch", batch_fn or evaluate_batch)
+    return EvolutionEngine(
+        toolbox, population_size=pop, n_elites=elites,
+        rng=np.random.default_rng(seed), dedupe_duplicates=dedupe,
+    )
+
+
+def test_batch_dispatch_used_and_sized_like_pending():
+    batches = []
+    engine = make_batch_engine(pop=6, elites=2, batches=batches)
+    engine.step()
+    assert batches == [6]  # generation 0 evaluates everyone, as one batch
+    engine.step()
+    assert batches == [6, 4]  # elites carried their fitness
+
+
+def test_batch_path_matches_per_individual_path():
+    a = make_engine(seed=42)
+    b = make_batch_engine(seed=42)
+    sa = a.run(10)
+    sb = b.run(10)
+    assert [s.best_fitness for s in sa] == [s.best_fitness for s in sb]
+    assert [s.mean_fitness for s in sa] == [s.mean_fitness for s in sb]
+
+
+def test_batch_length_mismatch_rejected():
+    engine = make_batch_engine(batch_fn=lambda individuals: [1.0])
+    with pytest.raises(ValueError, match="evaluate_batch returned"):
+        engine.step()
+
+
+# -- duplicate handling ---------------------------------------------------------
+
+
+def test_duplicate_groups_first_seen_order():
+    a = Individual(np.array([1, 2, 3]))
+    b = Individual(np.array([4, 5, 6]))
+    a2 = Individual(np.array([1, 2, 3]))
+    groups = EvolutionEngine.duplicate_groups([a, b, a2, b])
+    assert groups == [[0, 2], [1, 3]]
+    assert EvolutionEngine.duplicate_groups([]) == []
+
+
+def make_duplicate_engine(calls, dedupe, seed=0):
+    """All six generation-0 individuals share one genome."""
+    toolbox = make_toolbox()
+
+    def generate(n, rng):
+        genome = rng.integers(0, 10, N_GENES)
+        return [Individual(genome.copy()) for _ in range(n)]
+
+    def evaluate(ind):
+        calls.append(1)
+        return float(ind.genome.sum())
+
+    toolbox.register("generate", generate)
+    toolbox.register("evaluate", evaluate)
+    return EvolutionEngine(
+        toolbox, population_size=6, n_elites=1,
+        rng=np.random.default_rng(seed), dedupe_duplicates=dedupe,
+    )
+
+
+def test_dedupe_shares_fitness_among_identical_genomes():
+    calls = []
+    engine = make_duplicate_engine(calls, dedupe=True)
+    stats = engine.step()
+    assert len(calls) == 1  # one representative for six clones
+    assert stats.evaluations == 6  # accounting still covers everyone
+    assert stats.distinct_genomes == 1
+    assert all(ind.evaluated for ind in engine.population)
+
+
+def test_dedupe_off_evaluates_every_duplicate():
+    calls = []
+    engine = make_duplicate_engine(calls, dedupe=False)
+    stats = engine.step()
+    assert len(calls) == 6
+    assert stats.distinct_genomes == 1
+
+
+def test_dedupe_is_exact_for_deterministic_evaluators():
+    a = make_engine(seed=11)
+    b = EvolutionEngine(
+        make_toolbox(), population_size=8, n_elites=1,
+        rng=np.random.default_rng(11), dedupe_duplicates=True,
+    )
+    sa = a.run(12)
+    sb = b.run(12)
+    assert [s.best_fitness for s in sa] == [s.best_fitness for s in sb]
+
+
+def test_distinct_genomes_recorded_per_generation():
+    engine = make_engine()
+    stats = engine.step()
+    assert 1 <= stats.distinct_genomes <= stats.evaluations

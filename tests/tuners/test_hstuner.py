@@ -93,3 +93,98 @@ def test_resume_without_tune_rejected(sim):
 def test_invalid_budget(sim):
     with pytest.raises(ValueError):
         small_tuner(sim).tune(make_workload(), max_iterations=0)
+
+
+# -- initial population (no wasted duplicate of the seed) -----------------------
+
+
+def test_perturbed_always_differs_from_seed(sim):
+    from repro.ga import Individual
+
+    tuner = small_tuner(sim)
+    seed_ind = Individual(tuner.space.encode(tuner.space.default_values()))
+    rng = np.random.default_rng(0)
+    for _ in range(300):
+        assert not tuner._perturbed(seed_ind, rng).same_genome(seed_ind)
+
+
+def test_initial_population_contains_default_only_once(sim):
+    tuner = small_tuner(sim)
+    tuner.tune(make_workload(), max_iterations=1)
+    default = tuner.space.encode(tuner.space.default_values())
+    population = tuner._engine.population  # still generation 0 after 1 step
+    assert np.array_equal(population[0].genome, default)
+    for ind in population[1:]:
+        assert not np.array_equal(ind.genome, default)
+
+
+# -- fastpath accounting --------------------------------------------------------
+
+
+def test_eval_stats_surfaced_on_result(sim):
+    from repro.iostack import EvaluationCache
+
+    cache = EvaluationCache()
+    tuner = small_tuner(sim, cache=cache)
+    res = tuner.tune(make_workload(), max_iterations=6)
+    stats = res.eval_stats
+    assert stats is not None
+    # every evaluation (baseline included) did `repeats` replays
+    assert stats.evaluations == res.total_evaluations + 1
+    assert stats.trace_replays == tuner.repeats * stats.evaluations
+    # with a cache, traversals happen only on misses
+    assert stats.cache_misses == stats.traces_built
+    assert stats.trace_reuse == stats.trace_replays - stats.traces_built
+    assert res.cache_hit_rate == stats.cache_hit_rate
+    assert res.trace_reuse_count == stats.trace_reuse
+
+
+def test_eval_stats_without_cache(sim):
+    res = small_tuner(sim).tune(make_workload(), max_iterations=3)
+    assert res.eval_stats is not None
+    assert res.eval_stats.cache_hits == 0
+    assert res.eval_stats.cache_misses == 0
+    assert res.cache_hit_rate == 0.0
+
+
+def test_tuning_revisits_hit_the_cache(sim):
+    from repro.iostack import EvaluationCache
+
+    cache = EvaluationCache()
+    tuner = small_tuner(sim, cache=cache)
+    res = tuner.tune(make_workload(), max_iterations=10)
+    assert res.eval_stats.cache_hits > 0  # the GA re-draws configurations
+    assert res.trace_reuse_count > 0
+
+
+def test_stats_window_resets_between_tunes(sim):
+    from repro.iostack import EvaluationCache
+
+    tuner = small_tuner(sim, cache=EvaluationCache())
+    first = tuner.tune(make_workload(), max_iterations=3)
+    second = tuner.tune(make_workload(), max_iterations=3)
+    # counters are deltas over the run, not cumulative across runs
+    assert second.eval_stats.evaluations == first.eval_stats.evaluations
+    assert (
+        second.eval_stats.trace_replays
+        == tuner.repeats * second.eval_stats.evaluations
+    )
+    # the second run starts from the same default baseline: cache hit
+    assert second.eval_stats.cache_hits >= 1
+
+
+def test_batch_workers_do_not_change_results(sim):
+    from repro.iostack import EvaluationCache, IOStackSimulator, NoiseModel, cori
+
+    def run(workers):
+        simulator = IOStackSimulator(cori(2), NoiseModel(seed=5))
+        tuner = small_tuner(
+            simulator, seed=9, cache=EvaluationCache(), batch_workers=workers
+        )
+        return tuner.tune(make_workload(), max_iterations=6)
+
+    serial = run(None)
+    pooled = run(4)
+    assert np.array_equal(serial.perf_series(), pooled.perf_series())
+    assert serial.best_config == pooled.best_config
+    assert serial.total_minutes == pooled.total_minutes
