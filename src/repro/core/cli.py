@@ -9,6 +9,15 @@ Usage::
     tunio-tune flash
     tunio-tune hacc --tuner hstuner --iterations 40
     tunio-tune macsio --use-kernel --loop-reduction 0.01 --seed 7
+
+Robustness features ride the same entry point: ``--fault-rate`` /
+``--fault-straggler-rate`` / ``--fault-window`` inject a deterministic
+:class:`~repro.iostack.faults.FaultPlan`, ``--max-retries`` /
+``--eval-timeout`` shape the resilient harness, and ``--journal PATH``
+arms crash-safe checkpointing.  An interrupted journaled run continues
+bit-identically with::
+
+    tunio-tune resume tuning.journal
 """
 
 from __future__ import annotations
@@ -24,18 +33,21 @@ from repro.discovery.reducers import IOPathSwitching, LoopReduction, Reducer
 from repro.iostack.cluster import cori
 from repro.iostack.config import to_xml
 from repro.iostack.evalcache import EvaluationCache
+from repro.iostack.faults import DegradedWindow, EvaluationError, FaultPlan
 from repro.iostack.noise import NoiseModel
 from repro.iostack.simulator import IOStackSimulator
 from repro.tuners.hstuner import HSTuner
+from repro.tuners.journal import JournalError, ReplayCursor, load_journal
+from repro.tuners.resilience import HarnessError, RetryPolicy
 from repro.tuners.stoppers import HeuristicStopper, NoStop
 from repro.workloads import bdcats, flash, hacc, ior, macsio_vpic_dipole, vpic
 from repro.workloads.sources import canonical_hints, load_source
 
 from .objective import PerfNormalizer
 from .offline_training import load_agents, save_agents, train_tunio_agents
-from .pipeline import build_tunio
+from .pipeline import TuningSession, build_tunio
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_resume_parser"]
 
 _WORKLOADS = {
     "vpic": vpic,
@@ -90,14 +102,167 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread-pool size for building stack traces inside a GA "
              "generation (default: serial)",
     )
+    faults = parser.add_argument_group(
+        "fault injection (seeded, deterministic; off by default)"
+    )
+    faults.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="P",
+        help="per-attempt probability that an evaluation fails transiently",
+    )
+    faults.add_argument(
+        "--fault-straggler-rate", type=float, default=0.0, metavar="P",
+        help="per-run probability of a latency straggler",
+    )
+    faults.add_argument(
+        "--fault-straggler-slowdown", type=float, default=4.0, metavar="X",
+        help="service-time multiplier of a straggling run (default: 4)",
+    )
+    faults.add_argument(
+        "--fault-window", action="append", default=None, metavar="S:E:X",
+        dest="fault_windows",
+        help="degraded-bandwidth window of the tuning clock, as "
+             "start:end:slowdown in minutes (repeatable)",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed of the fault schedule (default: --seed)",
+    )
+    resil = parser.add_argument_group("resilient evaluation harness")
+    resil.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="re-attempts after a failed evaluation before quarantining "
+             "(default: 2)",
+    )
+    resil.add_argument(
+        "--retry-backoff", type=float, default=30.0, metavar="SECONDS",
+        help="simulated backoff before the first retry, doubled per retry "
+             "and charged to the tuning clock (default: 30)",
+    )
+    resil.add_argument(
+        "--eval-timeout", type=float, default=None, metavar="SECONDS",
+        help="simulated per-evaluation deadline; runs past it are treated "
+             "as killed (default: none)",
+    )
+    parser.add_argument(
+        "--journal", type=str, default=None, metavar="PATH",
+        help="append each completed generation to a crash-safe journal; "
+             "an interrupted run continues with `tunio-tune resume PATH`",
+    )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def build_resume_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tunio-tune resume",
+        description="Resume an interrupted journaled tuning run "
+                    "bit-identically.",
+    )
+    parser.add_argument("journal", help="journal file of the interrupted run")
+    parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="override the original iteration budget",
+    )
+    return parser
+
+
+def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
     if args.batch_workers is not None and args.batch_workers < 1:
         parser.error("--batch-workers must be >= 1")
+    if not 0.0 <= args.fault_rate < 1.0:
+        parser.error("--fault-rate must be in [0, 1)")
+    if not 0.0 <= args.fault_straggler_rate < 1.0:
+        parser.error("--fault-straggler-rate must be in [0, 1)")
+    if args.fault_straggler_slowdown < 1.0:
+        parser.error("--fault-straggler-slowdown must be >= 1")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.retry_backoff < 0:
+        parser.error("--retry-backoff must be >= 0")
+    if args.eval_timeout is not None and args.eval_timeout <= 0:
+        parser.error("--eval-timeout must be positive")
+    for spec in args.fault_windows or ():
+        try:
+            DegradedWindow.parse(spec)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+
+def _fault_plan(args: argparse.Namespace) -> FaultPlan | None:
+    """The fault plan the flags describe, or None when everything is off."""
+    windows = tuple(DegradedWindow.parse(s) for s in args.fault_windows or ())
+    if not (args.fault_rate or args.fault_straggler_rate or windows):
+        return None
+    seed = args.fault_seed if args.fault_seed is not None else args.seed
+    return FaultPlan(
+        seed=seed,
+        transient_error_rate=args.fault_rate,
+        straggler_rate=args.fault_straggler_rate,
+        straggler_slowdown=args.fault_straggler_slowdown,
+        degraded_windows=windows,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    try:
+        if argv[:1] == ["resume"]:
+            return _resume(argv[1:])
+        parser = build_parser()
+        args = parser.parse_args(argv)
+        _validate(parser, args)
+        return _run(args, replay=None)
+    except JournalError as exc:
+        print(f"tunio-tune: journal error: {exc}", file=sys.stderr)
+        return 3
+    except HarnessError as exc:
+        cause = exc.__cause__
+        detail = f" ({cause})" if cause is not None else ""
+        print(f"tunio-tune: evaluation harness failure: {exc}{detail}",
+              file=sys.stderr)
+        return 4
+    except EvaluationError as exc:
+        print(f"tunio-tune: evaluation failed: {exc} "
+              f"(raise --max-retries or quarantine the configuration)",
+              file=sys.stderr)
+        return 5
+    except FileNotFoundError as exc:
+        print(f"tunio-tune: file not found: {exc.filename or exc}",
+              file=sys.stderr)
+        return 2
+
+
+def _resume(argv: list[str]) -> int:
+    parser = build_resume_parser()
+    resume_args = parser.parse_args(argv)
+    journal = load_journal(resume_args.journal)
+    if journal.completed:
+        print(
+            f"tunio-tune: journal {resume_args.journal} records a completed "
+            f"run ({journal.final.get('stop_reason')}); nothing to resume",
+            file=sys.stderr,
+        )
+        return 1
+    saved = journal.header.get("args")
+    if not isinstance(saved, dict):
+        raise JournalError(
+            f"journal {resume_args.journal} has no recorded invocation; "
+            f"it was not written by tunio-tune"
+        )
+    run_parser = build_parser()
+    args = run_parser.parse_args([saved.pop("workload")])
+    for key, value in saved.items():
+        setattr(args, key, value)
+    if resume_args.iterations is not None:
+        args.iterations = resume_args.iterations
+    args.journal = resume_args.journal
+    print(
+        f"resuming {args.workload} from {resume_args.journal} "
+        f"({len(journal.generations)} journaled generations)"
+    )
+    return _run(args, replay=ReplayCursor(journal))
+
+
+def _run(args: argparse.Namespace, replay: ReplayCursor | None) -> int:
     rng = np.random.default_rng(args.seed)
 
     workload = _WORKLOADS[args.workload]()
@@ -136,6 +301,11 @@ def main(argv: list[str] | None = None) -> int:
             f"{kernel.original_line_count} lines"
         )
 
+    policy = RetryPolicy(
+        max_retries=args.max_retries,
+        backoff_seconds=args.retry_backoff,
+        timeout_seconds=args.eval_timeout,
+    )
     if args.tuner == "tunio":
         if args.agents_cache and os.path.exists(args.agents_cache):
             print(f"loading trained agents from {args.agents_cache}")
@@ -153,20 +323,45 @@ def main(argv: list[str] | None = None) -> int:
             simulator, agents, normalizer,
             expected_runs=args.expected_runs, rng=rng,
             cache=eval_cache, batch_workers=args.batch_workers,
+            retry_policy=policy,
         )
     elif args.tuner == "hstuner":
         tuner = HSTuner(
             simulator, stopper=NoStop(), rng=rng,
             cache=eval_cache, batch_workers=args.batch_workers,
+            retry_policy=policy,
         )
     else:
         tuner = HSTuner(
             simulator, stopper=HeuristicStopper(), rng=rng,
             cache=eval_cache, batch_workers=args.batch_workers,
+            retry_policy=policy,
         )
 
+    # Faults attach after offline training: the plan injects into the
+    # *tuning* campaign; training sweeps run fault-free either way.
+    fault_plan = _fault_plan(args)
+    simulator.faults = fault_plan
+    if fault_plan is not None:
+        print(
+            f"fault injection armed: rate={fault_plan.transient_error_rate} "
+            f"stragglers={fault_plan.straggler_rate} "
+            f"windows={len(fault_plan.degraded_windows)} "
+            f"(seed {fault_plan.seed})"
+        )
+
+    session = TuningSession(
+        tuner=tuner,
+        workload=target,
+        journal_path=args.journal,
+        journal_header={"args": dict(vars(args))},
+        replay=replay,
+    )
     print(f"tuning {target.name} with {tuner.name} (budget {args.iterations})...")
-    result = tuner.tune(target, max_iterations=args.iterations)
+    try:
+        result = session.run(args.iterations)
+    finally:
+        session.close()
 
     print(f"\nbaseline: {result.baseline_perf:10.1f} MB/s")
     for rec in result.history:
@@ -183,6 +378,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     if result.eval_stats is not None:
         print(f"fastpath: {result.eval_stats.describe()}")
+        if result.eval_stats.degraded:
+            print(f"resilience: {result.eval_stats.describe_resilience()}")
     if result.best_config is not None:
         print("\nH5Tuner override file:")
         print(to_xml(result.best_config))

@@ -10,9 +10,11 @@ count.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.iostack.cluster import Platform
+from repro.iostack.faults import EvaluationError
 from repro.iostack.units import bytes_per_sec_to_mb_per_sec
 
 __all__ = ["perf_objective", "PerfNormalizer"]
@@ -22,9 +24,17 @@ def perf_objective(write_bw_mbps: float, read_bw_mbps: float, alpha: float) -> f
     """The paper's objective, in MB/s.
 
     ``alpha`` is the write fraction of transferred bytes in [0, 1].
+    Non-finite bandwidths raise :class:`~repro.iostack.faults.EvaluationError`
+    (a corrupted measurement is a retryable evaluation failure, not a
+    crash of the tuning loop).
     """
     if not 0.0 <= alpha <= 1.0:
         raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    if not (math.isfinite(write_bw_mbps) and math.isfinite(read_bw_mbps)):
+        raise EvaluationError(
+            f"non-finite bandwidth measurement: write={write_bw_mbps!r} "
+            f"read={read_bw_mbps!r}"
+        )
     if write_bw_mbps < 0 or read_bw_mbps < 0:
         raise ValueError("bandwidths must be >= 0")
     return (1.0 - alpha) * read_bw_mbps + alpha * write_bw_mbps
@@ -68,7 +78,17 @@ class PerfNormalizer:
         return self.single_node_bandwidth_mbps * self.num_nodes**self.node_scaling_exponent
 
     def normalize(self, perf_mbps: float) -> float:
-        """perf in MB/s -> normalised units (~[0, 1.5])."""
+        """perf in MB/s -> normalised units (~[0, 1.5]).
+
+        A non-finite perf raises
+        :class:`~repro.iostack.faults.EvaluationError`: the agents train
+        on this value, and one NaN fed into their networks silently
+        poisons every weight after it.
+        """
+        if not math.isfinite(perf_mbps):
+            raise EvaluationError(
+                f"cannot normalise non-finite perf {perf_mbps!r}"
+            )
         if perf_mbps < 0:
             raise ValueError("perf must be >= 0")
         return perf_mbps / self.scale_mbps

@@ -25,6 +25,7 @@ from repro.iostack.parameters import TUNED_SPACE, ParameterSpace
 from repro.iostack.simulator import IOStackSimulator, WorkloadLike
 from repro.tuners.base import IterationRecord, TuningResult
 from repro.tuners.hstuner import HSTuner
+from repro.tuners.journal import JournalWriter, ReplayCursor
 
 from .early_stopping import RLStopper
 from .objective import PerfNormalizer
@@ -82,6 +83,13 @@ class TunIOTuner(HSTuner):
             )
         self._last_best_norm = norm
 
+    def _journal_agent_state(self) -> dict | None:
+        # Informational only: replay re-trains the agents by re-driving
+        # them, so nothing here is read back on resume.
+        return {
+            "impact_scores": [float(s) for s in self.smart_config.impact_scores],
+        }
+
 
 def build_tunio(
     simulator: IOStackSimulator,
@@ -122,19 +130,43 @@ class TuningSession:
     The first :meth:`run` starts tuning; later calls continue from the
     preserved GA population and clock, so a user can spend budget in
     instalments.
+
+    With ``journal_path`` set, every completed generation is appended to
+    a crash-safe JSONL journal (see :mod:`repro.tuners.journal`); pass a
+    :class:`~repro.tuners.journal.ReplayCursor` over the loaded journal
+    as ``replay`` to resume an interrupted run bit-identically.
     """
 
     tuner: HSTuner
     workload: WorkloadLike
     result: TuningResult | None = None
+    journal_path: str | None = None
+    journal_header: dict | None = None
+    replay: ReplayCursor | None = None
+    _writer: JournalWriter | None = None
 
     def run(self, iterations: int) -> TuningResult:
         """Tune for up to ``iterations`` more iterations."""
         if self.result is None:
+            if self.journal_path is not None:
+                header = dict(self.journal_header or {})
+                header.setdefault("workload", self.workload.name)
+                header.setdefault("tuner", self.tuner.name)
+                self._writer = JournalWriter(
+                    self.journal_path,
+                    header,
+                    resume_from=self.replay.journal if self.replay else None,
+                )
+                self.tuner.attach_journal(self._writer, self.replay)
             self.result = self.tuner.tune(self.workload, max_iterations=iterations)
         else:
             self.result = self.tuner.resume(extra_iterations=iterations)
         return self.result
+
+    def close(self) -> None:
+        """Release the journal file handle, if any."""
+        if self._writer is not None:
+            self._writer.close()
 
     @property
     def best_perf(self) -> float:

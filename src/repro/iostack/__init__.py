@@ -16,6 +16,15 @@ from .evalcache import (
     EvaluationStats,
     workload_fingerprint,
 )
+from .faults import (
+    DegradedWindow,
+    EvaluationError,
+    EvaluationTimeout,
+    FaultPlan,
+    PoisonedConfigError,
+    TransientFaultError,
+    config_digest,
+)
 from .noise import NoiseModel
 from .parameters import (
     LIBRARY_CATALOG,
@@ -67,4 +76,11 @@ __all__ = [
     "EvaluationCache",
     "EvaluationStats",
     "workload_fingerprint",
+    "DegradedWindow",
+    "EvaluationError",
+    "EvaluationTimeout",
+    "FaultPlan",
+    "PoisonedConfigError",
+    "TransientFaultError",
+    "config_digest",
 ]

@@ -73,3 +73,12 @@ class SimulatedClock:
         """Zero the clock (new tuning session)."""
         self._elapsed = 0.0
         self._n_evaluations = 0
+
+    def restore(self, elapsed_seconds: float, n_evaluations: int) -> None:
+        """Set the clock to a journaled state (resume).  ``elapsed_seconds``
+        is restored bit-exactly (JSON round-trips Python floats), so a
+        resumed run's time accounting matches the uninterrupted one."""
+        if elapsed_seconds < 0 or n_evaluations < 0:
+            raise ValueError("clock state must be non-negative")
+        self._elapsed = elapsed_seconds
+        self._n_evaluations = n_evaluations

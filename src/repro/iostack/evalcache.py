@@ -132,11 +132,34 @@ class EvaluationStats:
     traces_built: int = 0
     #: Reports derived from a stored trace (``repeats`` per evaluation).
     trace_replays: int = 0
+    #: Evaluation attempts repeated after a retryable failure.
+    retries: int = 0
+    #: Evaluations that exceeded the simulated per-evaluation timeout.
+    timeouts: int = 0
+    #: Configurations that exhausted their retries and were assigned the
+    #: worst-case fitness instead of crashing the generation.
+    quarantined: int = 0
+    #: Thread-pool batches that fell back to serial trace building after
+    #: a worker raised.
+    fallbacks: int = 0
+    #: Faults the plan injected (transient errors + stragglers).
+    faults_injected: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """True when any resilience machinery engaged during the run."""
+        return bool(
+            self.retries
+            or self.timeouts
+            or self.quarantined
+            or self.fallbacks
+            or self.faults_injected
+        )
 
     @property
     def trace_reuse(self) -> int:
@@ -151,6 +174,14 @@ class EvaluationStats:
             f"cache hit rate {100.0 * self.cache_hit_rate:.1f}% "
             f"({self.cache_hits}/{self.cache_hits + self.cache_misses}), "
             f"trace reuse {self.trace_reuse}"
+        )
+
+    def describe_resilience(self) -> str:
+        """One-line summary of the run's failure handling."""
+        return (
+            f"{self.faults_injected} faults injected, "
+            f"{self.retries} retries, {self.timeouts} timeouts, "
+            f"{self.quarantined} quarantined, {self.fallbacks} serial fallbacks"
         )
 
 

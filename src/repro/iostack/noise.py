@@ -101,6 +101,22 @@ class NoiseModel:
             out[i] = self.sample_factor()
         return out
 
+    # -- stream position --------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Number of factors consumed so far (the run counter)."""
+        return self._counter
+
+    def seek(self, position: int) -> None:
+        """Set the stream position.  Factor ``k`` depends only on
+        ``(seed, k)``, so seeking fully determines the remaining
+        sequence -- this is how a resumed tuning run fast-forwards past
+        journaled generations without re-drawing their factors."""
+        if position < 0:
+            raise ValueError("position must be >= 0")
+        self._counter = position
+
     # -- copy semantics ---------------------------------------------------------
 
     def clone(self) -> "NoiseModel":

@@ -7,12 +7,25 @@ TunIO itself (HSTuner + the three AI components) lives in
 
 from .base import IterationRecord, Tuner, TuningResult
 from .hstuner import HSTuner
+from .journal import (
+    Journal,
+    JournalError,
+    JournalWriter,
+    ReplayCursor,
+    load_journal,
+)
 from .lifecycle import (
     LifecycleModel,
     crossover_point,
     lifecycle_model,
     untuned_model,
     viability_point,
+)
+from .resilience import (
+    HarnessError,
+    ResilienceStats,
+    ResilientEvaluator,
+    RetryPolicy,
 )
 from .stoppers import (
     AnyStopper,
@@ -28,6 +41,15 @@ __all__ = [
     "Tuner",
     "TuningResult",
     "HSTuner",
+    "Journal",
+    "JournalError",
+    "JournalWriter",
+    "ReplayCursor",
+    "load_journal",
+    "HarnessError",
+    "ResilienceStats",
+    "ResilientEvaluator",
+    "RetryPolicy",
     "LifecycleModel",
     "crossover_point",
     "lifecycle_model",

@@ -26,6 +26,25 @@ per-individual, per-repeat loop -- same fitnesses, same noise-stream
 consumption, same clock charges -- the fastpath only removes redundant
 deterministic work.  :attr:`TuningResult.eval_stats` records what was
 saved.
+
+Resilience
+----------
+Every evaluation flows through a
+:class:`~repro.tuners.resilience.ResilientEvaluator`: retryable failures
+(injected faults, timeouts, non-finite measurements) are retried with
+simulated-clock-charged exponential backoff, configurations that exhaust
+their retries are quarantined at the worst-case fitness instead of
+crashing the generation, and a thread-pool batch whose worker raises
+falls back to serial trace building with the failing genome preserved in
+the exception chain.  With nothing failing, the harness performs exactly
+the calls the bare fastpath would -- results stay bit-identical.
+
+Journaling
+----------
+:meth:`attach_journal` arms crash-safe checkpoint/resume: completed
+generations are appended to a JSONL journal, and a replay cursor feeds
+journaled evaluations back on resume so an interrupted run continues
+bit-identically (see :mod:`repro.tuners.journal`).
 """
 
 from __future__ import annotations
@@ -46,10 +65,21 @@ from repro.ga import (
 from repro.iostack.clock import SimulatedClock
 from repro.iostack.config import StackConfiguration
 from repro.iostack.evalcache import EvaluationCache, EvaluationStats
+from repro.iostack.faults import EvaluationError
 from repro.iostack.parameters import TUNED_SPACE, ParameterSpace
 from repro.iostack.simulator import IOStackSimulator, StackTrace, WorkloadLike
 
 from .base import IterationRecord, Tuner, TuningResult
+from .journal import (
+    BaselineRecord,
+    GenerationRecord,
+    JournalError,
+    JournalWriter,
+    ReplayCursor,
+    rng_state_jsonable,
+    verify_rng,
+)
+from .resilience import ResilientEvaluator, RetryPolicy
 from .stoppers import NoStop, Stopper
 
 __all__ = ["HSTuner"]
@@ -97,6 +127,10 @@ class HSTuner(Tuner):
         because it changes noise and clock accounting for stochastic
         evaluations (the trace-level dedupe above already removes the
         redundant work without that side effect).
+    retry_policy:
+        How evaluation failures are retried/timed-out/quarantined; see
+        :class:`~repro.tuners.resilience.RetryPolicy`.  The default
+        policy never engages unless something actually fails.
     """
 
     name = "hstuner"
@@ -115,6 +149,7 @@ class HSTuner(Tuner):
         batch_evaluation: bool = True,
         batch_workers: int | None = None,
         dedupe_duplicates: bool = False,
+        retry_policy: RetryPolicy | None = None,
     ):
         if batch_workers is not None and batch_workers < 1:
             raise ValueError("batch_workers must be >= 1 (or None for serial)")
@@ -130,10 +165,36 @@ class HSTuner(Tuner):
         self.batch_evaluation = batch_evaluation
         self.batch_workers = batch_workers
         self.dedupe_duplicates = dedupe_duplicates
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.clock = SimulatedClock()
         self._active_subset_size: int | None = None
         self._n_evaluations = 0
         self._stats_base: tuple[int, int, int, int, int] = (0, 0, 0, 0, 0)
+        self._faults_base = 0
+        self._resilient = ResilientEvaluator(
+            self.simulator, self.clock, cache=self.cache, policy=self.retry_policy
+        )
+        # Journal hooks (attach_journal); None = no journaling/replay.
+        self._journal_writer: JournalWriter | None = None
+        self._replay_cursor: ReplayCursor | None = None
+        self._replay_record: GenerationRecord | None = None
+        self._replay_pop = 0
+        self._replay_warmed = False
+        self._dispatch_log: list[list[int]] = []
+
+    # -- journaling ----------------------------------------------------------
+
+    def attach_journal(
+        self,
+        writer: JournalWriter | None,
+        replay: ReplayCursor | None = None,
+    ) -> None:
+        """Arm checkpoint/resume: ``writer`` appends each completed
+        generation; ``replay`` (a cursor over a loaded journal) answers
+        journaled generations on resume instead of re-simulating them."""
+        self._journal_writer = writer
+        self._replay_cursor = replay
+        self._replay_warmed = False
 
     # -- extension point -----------------------------------------------------
 
@@ -154,23 +215,41 @@ class HSTuner(Tuner):
             raise ValueError("max_iterations must be >= 1")
         self.clock.reset()
         self.stopper.reset()
+        self._resilient = ResilientEvaluator(
+            self.simulator, self.clock, cache=self.cache, policy=self.retry_policy
+        )
+        if self.simulator.faults is not None:
+            # Rewind the fault schedule and tie its degraded windows to
+            # this run's clock, so repeated tunes replay the same plan.
+            self.simulator.faults.reset()
+            self.simulator.faults.attach_clock(self.clock)
         self._begin_stats_window()
 
         result = TuningResult(tuner_name=self.name, workload_name=workload.name)
-        result.baseline_perf = self._evaluate_config(
-            workload, StackConfiguration.default(self.space), charge=False
-        )
+        result.baseline_perf = self._baseline_perf(workload)
 
         generation_evals: list[float] = []
 
         def evaluate(ind: Individual) -> float:
-            config = StackConfiguration.from_genome(self.space, ind.genome)
-            perf = self._evaluate_config(workload, config, charge=True)
+            self._dispatch_log.append([int(i) for i in ind.genome])
+            record = self._replay_record
+            if record is not None:
+                perf = self._replay_perf(record)
+            else:
+                config = StackConfiguration.from_genome(self.space, ind.genome)
+                perf = self._evaluate_config(workload, config, charge=True)
             generation_evals.append(perf)
             return perf
 
         def evaluate_batch(individuals: Sequence[Individual]) -> list[float]:
-            perfs = self._evaluate_generation(workload, individuals)
+            self._dispatch_log.extend(
+                [int(i) for i in ind.genome] for ind in individuals
+            )
+            record = self._replay_record
+            if record is not None:
+                perfs = [self._replay_perf(record) for _ in individuals]
+            else:
+                perfs = self._evaluate_generation(workload, individuals)
             generation_evals.extend(perfs)
             return perfs
 
@@ -223,6 +302,7 @@ class HSTuner(Tuner):
         self._engine = engine
         self._result = result
         self._generation_evals = generation_evals
+        self._workload = workload
         self._run_iterations(max_iterations)
         return result
 
@@ -271,7 +351,23 @@ class HSTuner(Tuner):
                 self._active_subset_size = len(tuned_names)
 
             generation_evals.clear()
+            self._dispatch_log.clear()
+            self._replay_pop = 0
+            self._replay_record = (
+                self._replay_cursor.next_generation() if self._replay_cursor else None
+            )
+            if (
+                self._replay_cursor is not None
+                and self._replay_record is None
+                and not self._replay_warmed
+            ):
+                # Replay just ran dry: the next generation goes live.
+                self._warm_cache_from_journal()
+                self._replay_warmed = True
             stats = engine.step()
+            if self._replay_record is not None:
+                self._finish_replay(self._replay_record)
+                self._replay_record = None
             record = IterationRecord(
                 iteration=iteration,
                 iteration_perf=max(generation_evals) if generation_evals else stats.best_fitness,
@@ -282,6 +378,10 @@ class HSTuner(Tuner):
             )
             result.history.append(record)
             self._observe_iteration(record)
+            if self._journal_writer is not None:
+                self._journal_writer.write_generation(
+                    self._generation_record(iteration, tuned_names, generation_evals)
+                )
 
             if self.stopper.should_stop(result.history):
                 result.stop_reason = "stopper"
@@ -294,35 +394,171 @@ class HSTuner(Tuner):
             self.space, engine.best.genome
         )
         result.eval_stats = self._collect_stats()
+        if self._journal_writer is not None:
+            self._journal_writer.write_final(result.stop_reason, result.stopped_at)
+
+    # -- journal record/replay ---------------------------------------------------
+
+    def _baseline_perf(self, workload: WorkloadLike) -> float:
+        """Evaluate (or replay) the untuned baseline and journal it."""
+        record = self._replay_cursor.baseline() if self._replay_cursor else None
+        if record is not None:
+            perf = record.perf
+            self.simulator.noise.seek(record.noise_position)
+            if self.simulator.faults is not None and record.fault_state is not None:
+                self.simulator.faults.set_state(record.fault_state)
+            self._n_evaluations = record.n_evaluations
+        else:
+            perf = self._evaluate_config(
+                workload, StackConfiguration.default(self.space), charge=False
+            )
+        if self._journal_writer is not None:
+            self._journal_writer.write_baseline(
+                BaselineRecord(
+                    perf=perf,
+                    noise_position=self.simulator.noise.position,
+                    n_evaluations=self._n_evaluations,
+                    fault_state=(
+                        self.simulator.faults.get_state()
+                        if self.simulator.faults is not None
+                        else None
+                    ),
+                )
+            )
+        return perf
+
+    def _replay_perf(self, record: GenerationRecord) -> float:
+        """The next journaled perf of the generation being replayed."""
+        if self._replay_pop >= len(record.perfs):
+            raise JournalError(
+                f"journal mismatch at iteration {record.iteration}: the resumed "
+                f"pipeline dispatched more evaluations than the journaled run"
+            )
+        perf = record.perfs[self._replay_pop]
+        self._replay_pop += 1
+        return perf
+
+    def _finish_replay(self, record: GenerationRecord) -> None:
+        """Restore every stream a replayed generation would have
+        consumed, then verify the replay stayed on the journaled path."""
+        if self._dispatch_log != [list(g) for g in record.dispatched]:
+            raise JournalError(
+                f"journal mismatch at iteration {record.iteration}: the resumed "
+                f"pipeline dispatched different genomes than the journaled run "
+                f"(was the journal written with different settings or seed?)"
+            )
+        self.simulator.noise.seek(record.noise_position)
+        self.clock.restore(record.clock_seconds, record.clock_evaluations)
+        self._n_evaluations = record.n_evaluations
+        if self.simulator.faults is not None and record.fault_state is not None:
+            self.simulator.faults.set_state(record.fault_state)
+        self._resilient.restore_quarantine(record.quarantine)
+        self._resilient.stats.restore(record.resilience)
+        verify_rng(record, self.rng)
+
+    def _generation_record(
+        self,
+        iteration: int,
+        tuned_names: tuple[str, ...],
+        generation_evals: Sequence[float],
+    ) -> GenerationRecord:
+        engine = self._engine
+        return GenerationRecord(
+            iteration=iteration,
+            dispatched=tuple(tuple(g) for g in self._dispatch_log),
+            perfs=tuple(generation_evals),
+            population=tuple(
+                (tuple(int(i) for i in ind.genome), float(ind.fitness))
+                for ind in engine.population
+            ),
+            subset=tuned_names,
+            noise_position=self.simulator.noise.position,
+            clock_seconds=self.clock.elapsed_seconds,
+            clock_evaluations=self.clock.n_evaluations,
+            n_evaluations=self._n_evaluations,
+            rng_state=rng_state_jsonable(self.rng),
+            fault_state=(
+                self.simulator.faults.get_state()
+                if self.simulator.faults is not None
+                else None
+            ),
+            quarantine=self._resilient.quarantine_state(),
+            resilience=self._resilient.stats.as_dict(),
+            agent_state=self._journal_agent_state(),
+        )
+
+    def _journal_agent_state(self) -> dict | None:
+        """Agent state snapshot for the journal (overridden by TunIO to
+        record its impact scores); informational, not used by replay."""
+        return None
+
+    def _warm_cache_from_journal(self) -> None:
+        """Rebuild the traces the journaled generations cached, so the
+        resumed run enters its first live generation with the same cache
+        warmth as the uninterrupted one.
+
+        Without this, revisited configurations would rebuild traces the
+        original run served from cache -- harmless for results (trace
+        construction is deterministic) except that each rebuild makes an
+        extra fault-schedule draw, which would fork the fault stream.
+        Fault checks are bypassed while warming (the journal already
+        accounts the faults that fired) and quarantined configurations
+        are skipped: nothing ever looks their traces up.  Only LRU
+        recency can differ from the uninterrupted run, which matters
+        only past ``maxsize`` distinct configurations.
+        """
+        if self.cache is None or self._replay_cursor is None:
+            return
+        genomes: dict[tuple[int, ...], None] = {}
+        for record in self._replay_cursor.journal.generations:
+            for genome in record.dispatched:
+                genomes.setdefault(tuple(genome), None)
+        configs = [StackConfiguration.default(self.space)] + [
+            StackConfiguration.from_genome(self.space, genome) for genome in genomes
+        ]
+        faults, self.simulator.faults = self.simulator.faults, None
+        try:
+            for config in configs:
+                if self._resilient.is_quarantined(config):
+                    continue
+                cached = self.cache.lookup(
+                    self.simulator.platform, self._workload, config
+                )
+                if cached is None:
+                    trace = self.simulator.trace(self._workload, config)
+                    self.cache.store(
+                        self.simulator.platform, self._workload, config, trace
+                    )
+        finally:
+            self.simulator.faults = faults
 
     # -- evaluation ---------------------------------------------------------------
 
     def _evaluate_config(
         self, workload: WorkloadLike, config: StackConfiguration, charge: bool
     ) -> float:
-        if self.cache is not None:
-            evaluation = self.cache.evaluate(
-                self.simulator, workload, config, repeats=self.repeats
-            )
-        else:
-            evaluation = self.simulator.evaluate(workload, config, repeats=self.repeats)
+        perf = self._resilient.evaluate_config(
+            workload, config, repeats=self.repeats, charge=charge
+        )
+        # Note on charging: a success is charged one run's duration (on
+        # cache hits too -- a hit saves simulation work on our side, not
+        # testbed time on the simulated cluster); failed attempts charge
+        # their launch + backoff inside the resilient evaluator.
         self._n_evaluations += 1
-        if charge:
-            # Charged on cache hits too: a hit saves simulation work on
-            # our side, not testbed time on the simulated cluster.
-            self.clock.charge_evaluation(evaluation.charged_seconds)
-        return evaluation.perf_mbps
+        return perf
 
     def _evaluate_generation(
         self, workload: WorkloadLike, individuals: Sequence[Individual]
     ) -> list[float]:
         """Evaluate one generation as a batch, bit-identically to a
-        per-individual loop.
+        per-individual loop when nothing fails.
 
         Noise factors are pre-drawn in population order (so the noise
         stream advances exactly as the sequential path would), traces
         are built once per distinct genome, and each individual replays
-        its own factor slice and charges the clock.
+        its own factor slice and charges the clock.  Quarantined
+        configurations (``None`` traces) are served the worst-case
+        fitness; replay failures retry through the resilient harness.
         """
         configs = [
             StackConfiguration.from_genome(self.space, ind.genome)
@@ -331,19 +567,33 @@ class HSTuner(Tuner):
         factors = self.simulator.noise.sample_factors(self.repeats * len(configs))
         traces = self._traces_for(workload, configs)
         perfs: list[float] = []
-        for i, trace in enumerate(traces):
-            window = factors[i * self.repeats : (i + 1) * self.repeats]
-            evaluation = self.simulator.evaluate_trace_with_factors(trace, window)
+        for i, (config, trace) in enumerate(zip(configs, traces)):
             self._n_evaluations += 1
-            self.clock.charge_evaluation(evaluation.charged_seconds)
-            perfs.append(evaluation.perf_mbps)
+            if trace is None:
+                self._resilient.charge_quarantined(charge=True)
+                perfs.append(self.retry_policy.worst_case_perf)
+                continue
+            window = factors[i * self.repeats : (i + 1) * self.repeats]
+            perfs.append(
+                self._resilient.evaluate_trace(
+                    workload, config, trace, window, self.repeats, charge=True
+                )
+            )
         return perfs
 
     def _traces_for(
         self, workload: WorkloadLike, configs: Sequence[StackConfiguration]
-    ) -> list[StackTrace]:
-        """One trace per config, built once per distinct configuration
-        (through the cache when attached, a thread pool when asked)."""
+    ) -> list[StackTrace | None]:
+        """One trace per config (``None`` for quarantined ones), built
+        once per distinct configuration -- through the cache when
+        attached, a thread pool when asked.
+
+        Thread-pool workers perform one bare attempt each; any worker
+        failure routes that configuration through the serial resilient
+        path, which retries transient faults with backoff and wraps
+        unexpected exceptions with the failing configuration's repr (so
+        a raw worker traceback can never lose which genome failed).
+        """
         order: list[StackConfiguration] = []
         index: dict[StackConfiguration, int] = {}
         for config in configs:
@@ -354,6 +604,8 @@ class HSTuner(Tuner):
         traces: list[StackTrace | None] = [None] * len(order)
         missing: list[int] = []
         for j, config in enumerate(order):
+            if self._resilient.is_quarantined(config):
+                continue  # stays None: served worst-case downstream
             cached = (
                 self.cache.lookup(self.simulator.platform, workload, config)
                 if self.cache is not None
@@ -364,28 +616,60 @@ class HSTuner(Tuner):
             else:
                 traces[j] = cached
 
-        if missing:
-            if self.batch_workers is not None and len(missing) > 1:
-                with ThreadPoolExecutor(max_workers=self.batch_workers) as pool:
-                    built = list(
-                        pool.map(
-                            lambda j: self.simulator.trace(workload, order[j]), missing
-                        )
-                    )
-            else:
-                built = [self.simulator.trace(workload, order[j]) for j in missing]
-            for j, trace in zip(missing, built):
-                traces[j] = trace
-                if self.cache is not None:
-                    self.cache.store(self.simulator.platform, workload, order[j], trace)
+        if not missing:
+            return [traces[index[config]] for config in configs]
 
-        return [traces[index[config]] for config in configs]  # type: ignore[misc]
+        serial: list[tuple[int, int]] = []  # (order index, prior failed attempts)
+        if self.batch_workers is not None and len(missing) > 1:
+            with ThreadPoolExecutor(max_workers=self.batch_workers) as pool:
+                futures = {
+                    j: pool.submit(self.simulator.trace, workload, order[j])
+                    for j in missing
+                }
+            for j, future in futures.items():
+                exc = future.exception()
+                if exc is None:
+                    traces[j] = future.result()
+                    if self.cache is not None:
+                        self.cache.store(
+                            self.simulator.platform, workload, order[j], traces[j]
+                        )
+                elif isinstance(exc, EvaluationError):
+                    # The worker's attempt counts against the retry
+                    # budget; the serial path takes over from attempt 1
+                    # (or quarantines immediately when retries are off).
+                    if self.retry_policy.max_retries >= 1:
+                        self._resilient.stats.retries += 1
+                        self._resilient._charge_failed_attempt(0, charge=True)
+                        serial.append((j, 1))
+                    else:
+                        self._resilient._quarantine(order[j], exc)
+                else:
+                    # A genuine bug in a worker: fall back to serial for
+                    # this genome so the failure (if it reproduces) is
+                    # raised with the config repr attached.
+                    self._resilient.stats.fallbacks += 1
+                    serial.append((j, 0))
+        else:
+            serial = [(j, 0) for j in missing]
+
+        for j, failed_attempts in serial:
+            traces[j] = self._resilient.build_trace(
+                workload,
+                order[j],
+                charge=True,
+                failed_attempts=failed_attempts,
+                check_cache=False,
+            )
+
+        return [traces[index[config]] for config in configs]
 
     # -- fastpath accounting ----------------------------------------------------
 
     def _begin_stats_window(self) -> None:
         self._n_evaluations = 0
         cache = self.cache
+        faults = self.simulator.faults
         self._stats_base = (
             self.simulator.traces_built,
             self.simulator.trace_replays,
@@ -393,10 +677,24 @@ class HSTuner(Tuner):
             cache.misses if cache else 0,
             cache.evictions if cache else 0,
         )
+        self._faults_base = (
+            faults.transient_errors_injected + faults.stragglers_injected
+            if faults is not None
+            else 0
+        )
 
     def _collect_stats(self) -> EvaluationStats:
         built0, replays0, hits0, misses0, evict0 = self._stats_base
         cache = self.cache
+        faults = self.simulator.faults
+        injected = (
+            faults.transient_errors_injected
+            + faults.stragglers_injected
+            - self._faults_base
+            if faults is not None
+            else 0
+        )
+        resilience = self._resilient.stats
         return EvaluationStats(
             evaluations=self._n_evaluations,
             cache_hits=(cache.hits - hits0) if cache else 0,
@@ -404,4 +702,9 @@ class HSTuner(Tuner):
             cache_evictions=(cache.evictions - evict0) if cache else 0,
             traces_built=self.simulator.traces_built - built0,
             trace_replays=self.simulator.trace_replays - replays0,
+            retries=resilience.retries,
+            timeouts=resilience.timeouts,
+            quarantined=resilience.quarantined,
+            fallbacks=resilience.fallbacks,
+            faults_injected=injected,
         )

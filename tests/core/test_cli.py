@@ -1,8 +1,10 @@
 """The tunio-tune CLI (smoke coverage at tiny budgets)."""
 
+import json
+
 import pytest
 
-from repro.core.cli import build_parser, main
+from repro.core.cli import build_parser, build_resume_parser, main
 
 
 def test_parser_defaults():
@@ -57,3 +59,104 @@ def test_kernel_mode_requires_bundled_source(capsys):
 def test_ior_workload_runs(capsys):
     assert main(["ior", "--tuner", "hstuner", "--iterations", "2"]) == 0
     assert "final:" in capsys.readouterr().out
+
+
+# -- fault / resilience flags --------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "flags",
+    [
+        ["--fault-rate", "1.5"],
+        ["--fault-straggler-rate", "-0.1"],
+        ["--fault-straggler-slowdown", "0.5"],
+        ["--fault-window", "10:5:2"],
+        ["--max-retries", "-1"],
+        ["--eval-timeout", "0"],
+    ],
+)
+def test_bad_fault_flags_rejected(flags):
+    with pytest.raises(SystemExit):
+        main(["ior", *flags])
+
+
+@pytest.mark.faults
+def test_faulted_run_reports_resilience(capsys):
+    assert main([
+        "ior", "--tuner", "hstuner", "--iterations", "4", "--seed", "3",
+        "--fault-rate", "0.2", "--fault-straggler-rate", "0.1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fault injection armed" in out
+    assert "resilience:" in out
+    assert "faults injected" in out
+
+
+def test_fault_free_run_omits_resilience_line(capsys):
+    assert main(["ior", "--tuner", "hstuner", "--iterations", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "fastpath:" in out
+    assert "resilience:" not in out
+
+
+# -- journal / resume ----------------------------------------------------------
+
+
+def test_resume_parser():
+    args = build_resume_parser().parse_args(["t.journal", "--iterations", "9"])
+    assert args.journal == "t.journal"
+    assert args.iterations == 9
+
+
+@pytest.mark.faults
+def test_journal_then_resume_reproduces_the_run(tmp_path, capsys):
+    journal = tmp_path / "t.journal"
+    assert main([
+        "ior", "--tuner", "hstuner", "--iterations", "4", "--seed", "3",
+        "--fault-rate", "0.15", "--journal", str(journal),
+    ]) == 0
+    full_out = capsys.readouterr().out
+    full_records = [json.loads(line) for line in open(journal)]
+    assert full_records[-1]["type"] == "final"
+
+    # kill after two generations: keep header, baseline, gen0, gen1 + torn tail
+    lines = open(journal).readlines()
+    cut = tmp_path / "cut.journal"
+    cut.write_text("".join(lines[:4]) + lines[4][:25])
+
+    assert main(["resume", str(cut)]) == 0
+    resumed_out = capsys.readouterr().out
+    assert "resuming ior" in resumed_out
+    assert [json.loads(line) for line in open(cut)][1:] == full_records[1:]
+
+    def history(text):
+        return [l for l in text.splitlines()
+                if l.startswith(("baseline", "iter", "final", "resilience"))]
+
+    assert history(resumed_out) == history(full_out)
+
+
+def test_resume_of_completed_journal_is_refused(tmp_path, capsys):
+    journal = tmp_path / "t.journal"
+    assert main([
+        "ior", "--tuner", "hstuner", "--iterations", "2",
+        "--journal", str(journal),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["resume", str(journal)]) == 1
+    assert "nothing to resume" in capsys.readouterr().err
+
+
+# -- friendly error mapping ----------------------------------------------------
+
+
+def test_resume_missing_journal_maps_to_exit_3(capsys):
+    assert main(["resume", "/nonexistent/path.journal"]) == 3
+    assert "journal error" in capsys.readouterr().err
+
+
+def test_resume_foreign_journal_maps_to_exit_3(tmp_path, capsys):
+    bogus = tmp_path / "b.journal"
+    bogus.write_text('{"type":"header","version":1}\n')
+    assert main(["resume", str(bogus)]) == 3
+    assert "not written by tunio-tune" in capsys.readouterr().err

@@ -62,3 +62,22 @@ def test_subset_reward_favors_small_subsets():
     assert small == pytest.approx(6 * large)
     with pytest.raises(ValueError):
         norm.normalized_subset_reward(1000.0, subset_size=0, total_parameters=12)
+
+
+def test_non_finite_bandwidths_raise_evaluation_error():
+    from repro.iostack.faults import EvaluationError
+
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(EvaluationError, match="non-finite"):
+            perf_objective(bad, 100.0, 0.5)
+        with pytest.raises(EvaluationError, match="non-finite"):
+            perf_objective(100.0, bad, 0.5)
+
+
+def test_normalize_rejects_non_finite_perf():
+    from repro.iostack.faults import EvaluationError
+
+    norm = PerfNormalizer(single_node_bandwidth_mbps=700.0, num_nodes=4)
+    for bad in (float("nan"), float("inf")):
+        with pytest.raises(EvaluationError, match="non-finite"):
+            norm.normalize(bad)

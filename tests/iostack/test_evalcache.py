@@ -179,3 +179,96 @@ def test_evaluation_stats_derived_fields():
     assert "60.0%" in stats.describe()
     assert EvaluationStats().cache_hit_rate == 0.0
     assert EvaluationStats().trace_reuse == 0
+
+
+def test_evaluation_stats_degraded_flag_and_resilience_line():
+    assert not EvaluationStats().degraded
+    for field in ("retries", "timeouts", "quarantined", "fallbacks",
+                  "faults_injected"):
+        assert EvaluationStats(**{field: 1}).degraded
+    line = EvaluationStats(
+        retries=2, timeouts=1, quarantined=3, fallbacks=4, faults_injected=5
+    ).describe_resilience()
+    assert line == ("5 faults injected, 2 retries, 1 timeouts, "
+                    "3 quarantined, 4 serial fallbacks")
+
+
+# -- edge paths ----------------------------------------------------------------
+
+
+def test_fingerprint_skips_memo_for_non_weakrefable_workloads():
+    """Objects without weakref support (e.g. slotted ad-hoc workload
+    shims) hit the TypeError branch: fingerprinting still works, it just
+    recomputes per call instead of memoizing."""
+
+    class SlottedWorkload:
+        __slots__ = ("name", "n_procs", "n_nodes", "_phases")
+
+        def __init__(self, phases):
+            self.name = "slotted"
+            self.n_procs = 4
+            self.n_nodes = 1
+            self._phases = phases
+
+        def phases(self):
+            return self._phases
+
+    with pytest.raises(TypeError):
+        import weakref
+
+        weakref.ref(SlottedWorkload(()))  # the premise of this test
+
+    w = SlottedWorkload(tuple(make_workload().phases()))
+    first = workload_fingerprint(w)
+    assert workload_fingerprint(w) == first
+    assert hash(first)
+    # a structurally equal twin agrees, a different one does not
+    assert workload_fingerprint(
+        SlottedWorkload(tuple(make_workload().phases()))
+    ) == first
+    assert workload_fingerprint(SlottedWorkload(())) != first
+
+
+def test_eviction_pressure_never_grows_past_maxsize(sim):
+    cache = EvaluationCache(maxsize=3)
+    w = make_workload()
+    configs = random_configs(10, seed=3)
+    for config in configs:
+        cache.store(sim.platform, w, config, sim.trace(w, config))
+        assert len(cache) <= 3
+    assert cache.evictions == 7
+    # only the three most recently stored survive
+    for config in configs[:-3]:
+        assert cache.lookup(sim.platform, w, config) is None
+    for config in configs[-3:]:
+        assert cache.lookup(sim.platform, w, config) is not None
+
+
+def test_restoring_same_key_does_not_evict(sim):
+    cache = EvaluationCache(maxsize=2)
+    w = make_workload()
+    a, b = random_configs(2)
+    for config in (a, b, a, a):
+        cache.store(sim.platform, w, config, sim.trace(w, config))
+    assert len(cache) == 2 and cache.evictions == 0
+
+
+def test_faulted_traces_are_never_stored_or_served():
+    """A faulted attempt raises before the trace exists, so the cache
+    can never memoize -- and never serve -- a partial trace."""
+    from repro.iostack import FaultPlan, PoisonedConfigError
+
+    plan = FaultPlan(seed=0)
+    config = StackConfiguration.default()
+    plan.poison(config)
+    sim = IOStackSimulator(cori(2), NoiseModel(seed=11), faults=plan)
+    cache = EvaluationCache()
+    w = make_workload()
+    with pytest.raises(PoisonedConfigError):
+        cache.get_trace(sim, w, config)
+    assert len(cache) == 0
+    assert cache.lookup(sim.platform, w, config) is None
+    # once the fault clears, a real trace is built and cached normally
+    sim.faults = None
+    trace = cache.get_trace(sim, w, config)
+    assert cache.lookup(sim.platform, w, config) is trace
