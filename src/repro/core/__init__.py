@@ -10,6 +10,7 @@ from .api import TunIO
 from .early_stopping import (
     EarlyStoppingAgent,
     EarlyStoppingConfig,
+    GuardedStopper,
     OfflineTrainingReport,
     RLStopper,
 )
@@ -27,12 +28,13 @@ from .offline_training import (
 from .pipeline import TunIOTuner, TuningSession, build_tunio
 from .roti import RoTICurve, roti, roti_curve
 from .spec import TuningOutcome, TuningSpec, tune_application
-from .smart_config import SmartConfigAgent, SmartConfigSettings
+from .smart_config import GuardedSubsetPicker, SmartConfigAgent, SmartConfigSettings
 
 __all__ = [
     "TunIO",
     "EarlyStoppingAgent",
     "EarlyStoppingConfig",
+    "GuardedStopper",
     "OfflineTrainingReport",
     "RLStopper",
     "PerfNormalizer",
@@ -54,6 +56,7 @@ __all__ = [
     "RoTICurve",
     "roti",
     "roti_curve",
+    "GuardedSubsetPicker",
     "SmartConfigAgent",
     "SmartConfigSettings",
 ]

@@ -12,12 +12,20 @@ Usage::
 
 Robustness features ride the same entry point: ``--fault-rate`` /
 ``--fault-straggler-rate`` / ``--fault-window`` inject a deterministic
-:class:`~repro.iostack.faults.FaultPlan`, ``--max-retries`` /
-``--eval-timeout`` shape the resilient harness, and ``--journal PATH``
-arms crash-safe checkpointing.  An interrupted journaled run continues
-bit-identically with::
+:class:`~repro.iostack.faults.FaultPlan`, ``--fault-agent`` injects
+agent-level faults (weight corruption, forced degenerate policies,
+checkpoint truncation) that the guardrails detect and survive by
+degrading to plain-GA tuning, ``--constraints`` arms cross-parameter
+validation/repair, ``--max-retries`` / ``--eval-timeout`` shape the
+resilient harness, and ``--journal PATH`` arms crash-safe
+checkpointing.  An interrupted journaled run continues bit-identically
+with::
 
     tunio-tune resume tuning.journal
+
+Exit codes: 2 invalid input/constraint violation/missing file, 3
+journal error, 4 harness failure, 5 evaluation failure, 6 rejected
+agent checkpoint.
 """
 
 from __future__ import annotations
@@ -33,9 +41,20 @@ from repro.discovery.reducers import IOPathSwitching, LoopReduction, Reducer
 from repro.iostack.cluster import cori
 from repro.iostack.config import to_xml
 from repro.iostack.evalcache import EvaluationCache
-from repro.iostack.faults import DegradedWindow, EvaluationError, FaultPlan
+from repro.iostack.faults import (
+    AGENT_FAULT_MODES,
+    DegradedWindow,
+    EvaluationError,
+    FaultPlan,
+)
 from repro.iostack.noise import NoiseModel
+from repro.iostack.parameters import (
+    ConstraintContext,
+    ConstraintViolationError,
+    default_constraints,
+)
 from repro.iostack.simulator import IOStackSimulator
+from repro.rl.guardrails import CheckpointError
 from repro.tuners.hstuner import HSTuner
 from repro.tuners.journal import JournalError, ReplayCursor, load_journal
 from repro.tuners.resilience import HarnessError, RetryPolicy
@@ -98,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
              "only slower",
     )
     parser.add_argument(
+        "--constraints", action="store_true",
+        help="arm cross-parameter platform constraints: user seeds are "
+             "validated strictly, GA offspring are repaired (stripe counts "
+             "vs OSTs, aggregators vs MPI ranks, alignment divisibility)",
+    )
+    parser.add_argument(
         "--batch-workers", type=int, default=None, metavar="N",
         help="thread-pool size for building stack traces inside a GA "
              "generation (default: serial)",
@@ -126,6 +151,16 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--fault-seed", type=int, default=None,
         help="seed of the fault schedule (default: --seed)",
+    )
+    faults.add_argument(
+        "--fault-agent", choices=AGENT_FAULT_MODES, default=None, metavar="MODE",
+        help="inject an agent-level fault (one of: "
+             + ", ".join(AGENT_FAULT_MODES)
+             + "); the guardrails detect it and degrade to plain-GA tuning",
+    )
+    faults.add_argument(
+        "--fault-agent-at", type=int, default=0, metavar="ITER",
+        help="iteration at which the agent fault engages (default: 0)",
     )
     resil = parser.add_argument_group("resilient evaluation harness")
     resil.add_argument(
@@ -162,12 +197,21 @@ def build_resume_parser() -> argparse.ArgumentParser:
         "--iterations", type=int, default=None,
         help="override the original iteration budget",
     )
+    parser.add_argument(
+        "--no-eval-cache", action="store_true",
+        help=argparse.SUPPRESS,  # accepted only to reject it with a clear error
+    )
     return parser
 
 
 def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    if args.iterations < 1:
+        parser.error("--iterations must be >= 1")
     if args.batch_workers is not None and args.batch_workers < 1:
-        parser.error("--batch-workers must be >= 1")
+        parser.error(
+            "--batch-workers must be >= 1 (a thread pool cannot have "
+            f"{args.batch_workers} workers); omit the flag for serial building"
+        )
     if not 0.0 <= args.fault_rate < 1.0:
         parser.error("--fault-rate must be in [0, 1)")
     if not 0.0 <= args.fault_straggler_rate < 1.0:
@@ -175,11 +219,21 @@ def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
     if args.fault_straggler_slowdown < 1.0:
         parser.error("--fault-straggler-slowdown must be >= 1")
     if args.max_retries < 0:
-        parser.error("--max-retries must be >= 0")
+        parser.error(
+            "--max-retries must be >= 0 (a negative retry count is "
+            "contradictory; use 0 to quarantine on first failure)"
+        )
     if args.retry_backoff < 0:
         parser.error("--retry-backoff must be >= 0")
     if args.eval_timeout is not None and args.eval_timeout <= 0:
         parser.error("--eval-timeout must be positive")
+    if args.fault_agent_at < 0:
+        parser.error("--fault-agent-at must be >= 0")
+    if args.fault_agent == "checkpoint-truncation" and not args.agents_cache:
+        parser.error(
+            "--fault-agent checkpoint-truncation needs --agents-cache PATH "
+            "(the fault corrupts that checkpoint file)"
+        )
     for spec in args.fault_windows or ():
         try:
             DegradedWindow.parse(spec)
@@ -190,7 +244,8 @@ def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
 def _fault_plan(args: argparse.Namespace) -> FaultPlan | None:
     """The fault plan the flags describe, or None when everything is off."""
     windows = tuple(DegradedWindow.parse(s) for s in args.fault_windows or ())
-    if not (args.fault_rate or args.fault_straggler_rate or windows):
+    agent_fault = getattr(args, "fault_agent", None)
+    if not (args.fault_rate or args.fault_straggler_rate or windows or agent_fault):
         return None
     seed = args.fault_seed if args.fault_seed is not None else args.seed
     return FaultPlan(
@@ -199,6 +254,8 @@ def _fault_plan(args: argparse.Namespace) -> FaultPlan | None:
         straggler_rate=args.fault_straggler_rate,
         straggler_slowdown=args.fault_straggler_slowdown,
         degraded_windows=windows,
+        agent_fault=agent_fault,
+        agent_fault_at=getattr(args, "fault_agent_at", 0),
     )
 
 
@@ -225,15 +282,33 @@ def main(argv: list[str] | None = None) -> int:
               f"(raise --max-retries or quarantine the configuration)",
               file=sys.stderr)
         return 5
+    except CheckpointError as exc:
+        print(f"tunio-tune: agent checkpoint error: {exc}", file=sys.stderr)
+        return 6
     except FileNotFoundError as exc:
         print(f"tunio-tune: file not found: {exc.filename or exc}",
               file=sys.stderr)
+        return 2
+    except ConstraintViolationError as exc:
+        print(f"tunio-tune: configuration violates platform constraints:\n{exc}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"tunio-tune: invalid input: {exc}", file=sys.stderr)
         return 2
 
 
 def _resume(argv: list[str]) -> int:
     parser = build_resume_parser()
     resume_args = parser.parse_args(argv)
+    if resume_args.no_eval_cache:
+        parser.error(
+            "--no-eval-cache contradicts resume: replaying a journal re-warms "
+            "the trace cache to keep the resumed run bit-identical (the "
+            "original run's cache flag is restored from the journal)"
+        )
+    if resume_args.iterations is not None and resume_args.iterations < 1:
+        parser.error("--iterations must be >= 1")
     journal = load_journal(resume_args.journal)
     if journal.completed:
         print(
@@ -260,6 +335,14 @@ def _resume(argv: list[str]) -> int:
         f"({len(journal.generations)} journaled generations)"
     )
     return _run(args, replay=ReplayCursor(journal))
+
+
+def _truncate_checkpoint(path: str) -> None:
+    """Fault injection: chop an agent checkpoint to half its size, the
+    classic crash-during-write corruption."""
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:
+        fh.truncate(size // 2)
 
 
 def _run(args: argparse.Namespace, replay: ReplayCursor | None) -> int:
@@ -306,10 +389,39 @@ def _run(args: argparse.Namespace, replay: ReplayCursor | None) -> int:
         backoff_seconds=args.retry_backoff,
         timeout_seconds=args.eval_timeout,
     )
+    fault_plan = _fault_plan(args)
+    constraints = None
+    if args.constraints:
+        context = ConstraintContext.for_run(platform, target)
+        constraints = default_constraints(context=context)
+        print(
+            f"constraints: {len(constraints)} rules armed "
+            f"(n_osts={context.n_osts}, n_procs={context.n_procs})"
+        )
+    checkpoint_trip: str | None = None
     if args.tuner == "tunio":
+        agents = None
         if args.agents_cache and os.path.exists(args.agents_cache):
+            if (
+                fault_plan is not None
+                and fault_plan.agent_fault == "checkpoint-truncation"
+            ):
+                _truncate_checkpoint(args.agents_cache)
+                print(
+                    f"fault injection: truncated agent checkpoint "
+                    f"{args.agents_cache}"
+                )
             print(f"loading trained agents from {args.agents_cache}")
-            agents = load_agents(args.agents_cache, normalizer, rng=rng)
+            try:
+                agents = load_agents(args.agents_cache, normalizer, rng=rng)
+            except CheckpointError as exc:
+                checkpoint_trip = f"checkpoint:schema ({exc})"
+                print(f"guardrails: agent checkpoint rejected: {exc}",
+                      file=sys.stderr)
+                print(
+                    "guardrails: degraded mode -- tuning with plain GA "
+                    "(full parameter set, patience-based stopping)"
+                )
         else:
             print("offline training (sweep + PCA + log-curve RL)...")
             training = [vpic(), flash(), hacc()]
@@ -319,35 +431,49 @@ def _run(args: argparse.Namespace, replay: ReplayCursor | None) -> int:
             if args.agents_cache:
                 save_agents(agents, args.agents_cache)
                 print(f"saved trained agents to {args.agents_cache}")
-        tuner = build_tunio(
-            simulator, agents, normalizer,
-            expected_runs=args.expected_runs, rng=rng,
-            cache=eval_cache, batch_workers=args.batch_workers,
-            retry_policy=policy,
-        )
+        if agents is not None:
+            tuner = build_tunio(
+                simulator, agents, normalizer,
+                expected_runs=args.expected_runs, rng=rng,
+                cache=eval_cache, batch_workers=args.batch_workers,
+                retry_policy=policy, constraints=constraints,
+            )
+        else:
+            # Degraded mode: the checkpoint was rejected; tune with the
+            # plain GA under the patience heuristic instead of crashing
+            # or retraining behind the user's back.
+            tuner = HSTuner(
+                simulator, stopper=HeuristicStopper(), rng=rng,
+                cache=eval_cache, batch_workers=args.batch_workers,
+                retry_policy=policy, constraints=constraints,
+            )
     elif args.tuner == "hstuner":
         tuner = HSTuner(
             simulator, stopper=NoStop(), rng=rng,
             cache=eval_cache, batch_workers=args.batch_workers,
-            retry_policy=policy,
+            retry_policy=policy, constraints=constraints,
         )
     else:
         tuner = HSTuner(
             simulator, stopper=HeuristicStopper(), rng=rng,
             cache=eval_cache, batch_workers=args.batch_workers,
-            retry_policy=policy,
+            retry_policy=policy, constraints=constraints,
         )
 
     # Faults attach after offline training: the plan injects into the
     # *tuning* campaign; training sweeps run fault-free either way.
-    fault_plan = _fault_plan(args)
     simulator.faults = fault_plan
     if fault_plan is not None:
+        agent_part = (
+            f" agent={fault_plan.agent_fault}@{fault_plan.agent_fault_at}"
+            if fault_plan.agent_fault is not None
+            else ""
+        )
         print(
             f"fault injection armed: rate={fault_plan.transient_error_rate} "
             f"stragglers={fault_plan.straggler_rate} "
-            f"windows={len(fault_plan.degraded_windows)} "
-            f"(seed {fault_plan.seed})"
+            f"windows={len(fault_plan.degraded_windows)}"
+            f"{agent_part} (seed {fault_plan.seed})"
         )
 
     session = TuningSession(
@@ -376,10 +502,18 @@ def _run(args: argparse.Namespace, replay: ReplayCursor | None) -> int:
         f"in {result.total_minutes:.1f} simulated minutes "
         f"({result.total_evaluations} evaluations, {result.stop_reason})"
     )
+    if checkpoint_trip is not None:
+        result.guardrail_trips = (checkpoint_trip,) + result.guardrail_trips
     if result.eval_stats is not None:
         print(f"fastpath: {result.eval_stats.describe()}")
         if result.eval_stats.degraded:
             print(f"resilience: {result.eval_stats.describe_resilience()}")
+    if result.guardrail_trips:
+        shown = list(dict.fromkeys(result.guardrail_trips))
+        print(
+            f"guardrails: {len(result.guardrail_trips)} trip(s), "
+            f"degraded to plain-GA behaviour: " + "; ".join(shown)
+        )
     if result.best_config is not None:
         print("\nH5Tuner override file:")
         print(to_xml(result.best_config))

@@ -35,14 +35,22 @@ reused many times, letting the pipeline tune longer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.iostack.faults import FaultPlan
 from repro.rl.curves import LogCurve, LogCurveGenerator
+from repro.rl.guardrails import (
+    GuardrailMonitor,
+    LossDivergenceMonitor,
+    corrupt_network,
+    qagent_weight_issue,
+)
 from repro.rl.qlearning import QLearningAgent, QLearningConfig
 from repro.rl.replay import DelayedRewardBuffer, Transition
 from repro.tuners.base import IterationRecord
+from repro.tuners.stoppers import FallbackStopper, Stopper
 
 from .objective import PerfNormalizer
 
@@ -51,6 +59,7 @@ __all__ = [
     "OfflineTrainingReport",
     "EarlyStoppingAgent",
     "RLStopper",
+    "GuardedStopper",
 ]
 
 _STATE_DIM = 5
@@ -426,3 +435,132 @@ class RLStopper:
             margin = q[_STOP] - q[_CONTINUE]
             decision = margin >= (self._patience_scale() - 1.0) * self.agent.config.iteration_cost
         return bool(decision)
+
+
+class GuardedStopper(FallbackStopper):
+    """Guardrail wrapper around :class:`RLStopper`.
+
+    A :class:`~repro.tuners.stoppers.FallbackStopper` whose trip
+    conditions are evaluated automatically each call:
+
+    * **weight health** -- before the RL stopper runs (and before it
+      would consume any agent RNG), its Q-networks are scanned for
+      non-finite or exploded weights;
+    * **training health** -- after a healthy decision, the Q-network's
+      last loss / gradient-norm telemetry feeds a
+      :class:`~repro.rl.guardrails.LossDivergenceMonitor`;
+    * **degenerate-policy watchdog** -- a stop decision below the
+      agent's ``min_iterations`` warm-up is impossible for a healthy
+      policy (``EarlyStoppingAgent.should_stop`` hard-returns False
+      there), so two consecutive such decisions trip the guardrail.
+      Single suppressed decisions are withheld (``False``) rather than
+      obeyed.
+
+    On any trip the stopper degrades permanently to the fallback
+    (default: the paper's 5%/5 patience heuristic).  Because every check
+    runs before the RL agent draws randomness, a run degraded at
+    iteration ``k`` consumes exactly the same downstream random streams
+    as a run that never had an RL stopper -- the degraded-mode
+    bit-reproducibility contract.
+
+    Fault injection (``FaultPlan.agent_fault``): ``nan-weights`` /
+    ``explode-weights`` corrupt the Q-networks once when the fault
+    activates; ``stop-now`` forces a stop decision without consulting
+    the agent (caught by the watchdog when it fires inside the warm-up).
+    """
+
+    def __init__(
+        self,
+        primary: RLStopper,
+        monitor: GuardrailMonitor | None = None,
+        fault_source: Callable[[], FaultPlan | None] | None = None,
+        fallback: Stopper | None = None,
+    ):
+        super().__init__(primary, fallback)
+        self.monitor = monitor if monitor is not None else GuardrailMonitor()
+        self._fault_source = fault_source
+        self._corrupted = False
+        self._early_stop_streak = 0
+        # Same rationale as GuardedSubsetPicker: healthy online-RL losses
+        # are orders-of-magnitude volatile; only numerical runaway trips.
+        self._loss_monitor = LossDivergenceMonitor(divergence_factor=1e6)
+        self.name = f"guarded({self.primary.name}->{self.fallback.name})"
+
+    def _trip(self, kind: str, detail: str, iteration: int | None = None) -> None:
+        self.monitor.trip("early-stopper", kind, detail, iteration=iteration)
+        self.degrade(f"{kind}: {detail}")
+
+    def _active_fault(self, iteration: int) -> str | None:
+        if self._fault_source is None:
+            return None
+        plan = self._fault_source()
+        if plan is None:
+            return None
+        return plan.agent_fault_active(iteration)
+
+    def _apply_corruption(self, mode: str) -> None:
+        if self._corrupted:
+            return
+        self._corrupted = True
+        agent = self.primary.agent.agent
+        corrupt_network(agent.q_network, mode)
+        corrupt_network(agent.target_network, mode)
+
+    @property
+    def expected_runs(self) -> float | None:
+        """The wrapped RL stopper's patience input (the wrapper keeps the
+        :class:`RLStopper` attribute surface for callers)."""
+        return self.primary.expected_runs
+
+    def should_stop(self, history: Sequence[IterationRecord]) -> bool:
+        if self.degraded:
+            return self.fallback.should_stop(history)
+        if not history:
+            return False
+        t = len(history) - 1
+
+        fault = self._active_fault(t)
+        if fault in ("nan-weights", "explode-weights"):
+            self._apply_corruption(fault)
+
+        # Pre-call weight scan: trips before any agent RNG is consumed.
+        issue = qagent_weight_issue(self.primary.agent.agent)
+        if issue is not None:
+            kind = "non-finite-weights" if "non-finite" in issue else "exploded-weights"
+            self._trip(kind, issue, t)
+            return self.fallback.should_stop(history)
+
+        if fault == "stop-now":
+            decision = True
+        else:
+            decision = self.primary.should_stop(history)
+            q_network = self.primary.agent.agent.q_network
+            reason = self._loss_monitor.observe(
+                q_network.last_loss, q_network.last_grad_norm
+            )
+            if reason is not None:
+                self._trip("training-divergence", reason, t)
+                return self.fallback.should_stop(history)
+
+        # Degenerate-policy watchdog: a healthy policy cannot stop inside
+        # the warm-up window, so repeated attempts mean it is broken.
+        if decision and t < self.primary.agent.config.min_iterations:
+            self._early_stop_streak += 1
+            if self._early_stop_streak >= 2:
+                self._trip(
+                    "degenerate-policy",
+                    f"stop requested at iteration {t}, inside the "
+                    f"{self.primary.agent.config.min_iterations}-iteration warm-up, "
+                    f"{self._early_stop_streak} times in a row",
+                    t,
+                )
+                return self.fallback.should_stop(history)
+            return False
+        self._early_stop_streak = 0
+        return decision
+
+    def reset(self) -> None:
+        super().reset()
+        self._corrupted = False
+        self._early_stop_streak = 0
+        self._loss_monitor.reset()

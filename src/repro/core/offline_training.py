@@ -32,6 +32,11 @@ from repro.iostack.evalcache import EvaluationCache
 from repro.iostack.parameters import ParameterSpace, TUNED_SPACE
 from repro.iostack.simulator import IOStackSimulator, WorkloadLike
 from repro.rl.curves import LogCurveGenerator
+from repro.rl.guardrails import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    validate_agent_checkpoint,
+)
 from repro.rl.pca import parameter_impact
 
 from .early_stopping import EarlyStoppingAgent
@@ -216,8 +221,12 @@ def train_tunio_agents(
 
 
 def save_agents(agents: TunIOAgents, path: str | Path) -> None:
-    """Checkpoint the trained agents to a ``.npz`` file."""
-    payload: dict[str, np.ndarray] = {"impact_scores": agents.impact_scores}
+    """Checkpoint the trained agents to a ``.npz`` file (stamped with
+    the schema version so loaders can detect incompatible files)."""
+    payload: dict[str, np.ndarray] = {
+        "checkpoint_version": np.array(CHECKPOINT_VERSION),
+        "impact_scores": agents.impact_scores,
+    }
     for k, v in agents.smart_config.get_state().items():
         payload[f"smart_{k}"] = v
     for k, v in agents.early_stopper.get_weights().items():
@@ -231,16 +240,42 @@ def load_agents(
     space: ParameterSpace = TUNED_SPACE,
     rng: np.random.Generator | None = None,
 ) -> TunIOAgents:
-    """Restore a :func:`save_agents` checkpoint."""
-    data = np.load(Path(path))
+    """Restore a :func:`save_agents` checkpoint.
+
+    The file is validated before any agent sees it (readable archive,
+    supported schema version, required keys present, finite values, sane
+    impact scores); shape mismatches against the freshly built agents
+    are caught too.  All failure modes raise
+    :class:`~repro.rl.guardrails.CheckpointError` with an actionable
+    message -- a truncated or corrupted checkpoint can degrade the run,
+    never poison the agents with garbage weights.
+    """
+    try:
+        with np.load(Path(path)) as archive:
+            data = {k: archive[k] for k in archive.files}
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # zipfile.BadZipFile, OSError, ValueError, EOFError
+        raise CheckpointError(
+            f"agent checkpoint {path} is unreadable ({exc}); it is likely "
+            f"truncated or corrupted -- delete it and retrain"
+        ) from exc
+    validate_agent_checkpoint(data, path=str(path))
     smart = SmartConfigAgent(space=space, normalizer=normalizer, rng=rng)
-    smart.set_state(
-        {k[len("smart_"):]: data[k] for k in data.files if k.startswith("smart_")}
-    )
     stopper = EarlyStoppingAgent(rng=rng)
-    stopper.set_weights(
-        {k[len("stop_"):]: data[k] for k in data.files if k.startswith("stop_")}
-    )
+    try:
+        smart.set_state(
+            {k[len("smart_"):]: v for k, v in data.items() if k.startswith("smart_")}
+        )
+        stopper.set_weights(
+            {k[len("stop_"):]: v for k, v in data.items() if k.startswith("stop_")}
+        )
+    except ValueError as exc:
+        raise CheckpointError(
+            f"agent checkpoint {path} does not match the current agent "
+            f"architecture ({exc}); it was written by an incompatible build -- "
+            f"delete it and retrain"
+        ) from exc
     return TunIOAgents(
         smart_config=smart,
         early_stopper=stopper,

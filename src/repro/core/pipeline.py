@@ -23,21 +23,34 @@ import numpy as np
 from repro.iostack.evalcache import EvaluationCache
 from repro.iostack.parameters import TUNED_SPACE, ParameterSpace
 from repro.iostack.simulator import IOStackSimulator, WorkloadLike
+from repro.rl.guardrails import GuardrailMonitor
 from repro.tuners.base import IterationRecord, TuningResult
 from repro.tuners.hstuner import HSTuner
 from repro.tuners.journal import JournalWriter, ReplayCursor
 
-from .early_stopping import RLStopper
+from .early_stopping import GuardedStopper, RLStopper
 from .objective import PerfNormalizer
 from .offline_training import TunIOAgents
-from .smart_config import SmartConfigAgent
+from .smart_config import GuardedSubsetPicker, SmartConfigAgent
 
 __all__ = ["TunIOTuner", "build_tunio", "TuningSession"]
 
 
 class TunIOTuner(HSTuner):
     """HSTuner with TunIO's Smart Configuration Generation and RL early
-    stopping attached."""
+    stopping attached.
+
+    Both agents run behind guardrails (see :mod:`repro.rl.guardrails`):
+    the subset picker through a
+    :class:`~repro.core.smart_config.GuardedSubsetPicker` and an
+    :class:`RLStopper` through a :class:`GuardedStopper`, sharing one
+    :class:`~repro.rl.guardrails.GuardrailMonitor` (``self.guardrails``).
+    On a healthy run the guardrails are pure observers -- results are
+    bit-identical to unguarded wiring.  When one trips, the affected
+    component degrades to plain-GA behaviour (full parameter set /
+    patience-heuristic stopping) for the rest of the run, and the trips
+    are reported on :class:`~repro.tuners.base.TuningResult`.
+    """
 
     name = "tunio"
 
@@ -49,6 +62,17 @@ class TunIOTuner(HSTuner):
         space: ParameterSpace = TUNED_SPACE,
         **kwargs,
     ):
+        self.guardrails = GuardrailMonitor()
+        # Reads the *current* fault plan each call (the attribute is
+        # swapped around journal cache warming and by tests).
+        fault_source = lambda: simulator.faults  # noqa: E731
+        self._picker = GuardedSubsetPicker(
+            smart_config, self.guardrails, fault_source=fault_source
+        )
+        if isinstance(stopper, RLStopper):
+            stopper = GuardedStopper(
+                stopper, self.guardrails, fault_source=fault_source
+            )
         super().__init__(simulator, space=space, stopper=stopper, **kwargs)
         self.smart_config = smart_config
         self._current_subset: tuple[str, ...] | None = None
@@ -62,12 +86,12 @@ class TunIOTuner(HSTuner):
         if iteration == 0:
             # Generation 0 evaluates the seed population; the agent takes
             # over from the first bred generation.
-            self.smart_config.reset_episode()
+            self._picker.reset_episode()
             self._current_subset = None
             self._last_best_norm = None
             return None
         last = history[-1]
-        subset = self.smart_config.subset_picker(
+        subset = self._picker.pick(
             last.best_perf,
             self._current_subset,
             iteration=iteration,
@@ -78,7 +102,7 @@ class TunIOTuner(HSTuner):
     def _observe_iteration(self, record: IterationRecord) -> None:
         norm = self.smart_config._normalize(record.best_perf)
         if self._current_subset is not None and self._last_best_norm is not None:
-            self.smart_config.credit_subset(
+            self._picker.credit_subset(
                 self._current_subset, norm - self._last_best_norm
             )
         self._last_best_norm = norm
@@ -86,9 +110,34 @@ class TunIOTuner(HSTuner):
     def _journal_agent_state(self) -> dict | None:
         # Informational only: replay re-trains the agents by re-driving
         # them, so nothing here is read back on resume.
-        return {
+        state: dict = {
             "impact_scores": [float(s) for s in self.smart_config.impact_scores],
         }
+        if self.guardrails.trips:
+            state["guardrail_trips"] = [str(t) for t in self.guardrails.trips]
+        return state
+
+    # -- guardrail surfaces -------------------------------------------------------
+
+    def _begin_stats_window(self) -> None:
+        # tune() starts a fresh run: re-arm the guardrails so a journal
+        # replay re-earns its trips deterministically.  (In-session
+        # resume() does not pass here, so degradation persists across
+        # interactive refinement, as it must.)
+        super()._begin_stats_window()
+        self.guardrails.reset()
+        self._picker.reset()
+        # (tune() has already reset the stopper, guarded or not.)
+
+    def _drain_guardrail_warnings(self) -> list[str]:
+        return self.guardrails.drain_warnings()
+
+    def _guardrail_trip_count(self) -> int:
+        return len(self.guardrails.trips)
+
+    def _collect_stats(self):
+        self._result.guardrail_trips = tuple(str(t) for t in self.guardrails.trips)
+        return super()._collect_stats()
 
 
 def build_tunio(

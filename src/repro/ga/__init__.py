@@ -11,6 +11,7 @@ from .operators import (
     apply_mask,
     indexed_mutation,
     one_point_crossover,
+    repair_individual,
     uniform_crossover,
     uniform_reset_mutation,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "apply_mask",
     "indexed_mutation",
     "one_point_crossover",
+    "repair_individual",
     "uniform_crossover",
     "uniform_reset_mutation",
     "elites",

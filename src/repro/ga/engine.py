@@ -17,6 +17,11 @@ Toolbox contract (all rng arguments are numpy Generators):
 * ``evaluate_batch(individuals) -> sequence[float]`` -- optional; when
   registered, a generation's unevaluated individuals are dispatched as
   one batch (in population order) instead of one ``evaluate`` call each.
+* ``repair(individual) -> Individual`` -- optional; a deterministic,
+  RNG-free projection applied to every bred individual (after mask
+  pinning), so variation can never emit a constraint-violating genome.
+  Repair may adjust genes outside the active mask when a constraint
+  couples a masked gene to a pinned one -- validity wins over pinning.
 
 Only individuals with no fitness are (re)evaluated, matching DEAP's
 invalid-fitness convention -- elites carry their fitness across
@@ -132,6 +137,8 @@ class EvolutionEngine:
             self.population = [seed] + [
                 apply_mask(ind, seed, self._mask) for ind in self.population[1:]
             ]
+        if "repair" in self.toolbox:
+            self.population = [self.toolbox.repair(ind) for ind in self.population]
         stats = self._evaluate_and_record()
         return stats
 
@@ -150,6 +157,8 @@ class EvolutionEngine:
                 child = self.toolbox.mutate(child, self.rng)
                 if self._mask is not None:
                     child = apply_mask(child, incumbent, self._mask)
+                if "repair" in self.toolbox:
+                    child = self.toolbox.repair(child)
                 next_pop.append(child)
         self.population = next_pop
         self._generation += 1

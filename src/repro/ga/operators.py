@@ -10,11 +10,14 @@ untouched by crossover and mutation.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from .individual import Individual
+
+if TYPE_CHECKING:  # layering: ga never imports iostack at runtime
+    from repro.iostack.parameters import ConstraintContext, ConstraintRegistry
 
 __all__ = [
     "uniform_crossover",
@@ -22,6 +25,7 @@ __all__ = [
     "indexed_mutation",
     "uniform_reset_mutation",
     "apply_mask",
+    "repair_individual",
 ]
 
 #: A neighbour function: (gene position, current index, rng) -> new index.
@@ -131,3 +135,26 @@ def apply_mask(
     m = _as_mask(mask, offspring.genome.size)
     genome = np.where(m, offspring.genome, incumbent.genome)
     return Individual(genome)
+
+
+def repair_individual(
+    ind: Individual,
+    registry: "ConstraintRegistry",
+    context: "ConstraintContext | None" = None,
+) -> Individual:
+    """Project an individual onto the constraint-satisfying region.
+
+    Delegates to the registry's deterministic, idempotent genome repair
+    (every offending parameter is lowered to the largest candidate that
+    satisfies its constraints).  Constraint-clean individuals are
+    returned unchanged -- same object, fitness preserved -- so the hook
+    is free when variation happens to produce a valid child.
+
+    Consumes no randomness: registering this in a toolbox leaves the GA's
+    RNG stream untouched, which is what keeps constraint-free runs
+    bit-identical to runs where the registry never fires.
+    """
+    repaired = registry.repair_genome(ind.genome, context)
+    if np.array_equal(repaired, ind.genome):
+        return ind
+    return Individual(repaired)

@@ -17,6 +17,7 @@ from .evalcache import (
     workload_fingerprint,
 )
 from .faults import (
+    AGENT_FAULT_MODES,
     DegradedWindow,
     EvaluationError,
     EvaluationTimeout,
@@ -29,9 +30,16 @@ from .noise import NoiseModel
 from .parameters import (
     LIBRARY_CATALOG,
     TUNED_SPACE,
+    ConstraintContext,
+    ConstraintRegistry,
+    ConstraintViolation,
+    ConstraintViolationError,
+    DivisibilityConstraint,
     LibraryCatalog,
     Parameter,
     ParameterSpace,
+    UpperBoundConstraint,
+    default_constraints,
     stack_permutations,
 )
 from .phase import IOPhase
@@ -62,6 +70,13 @@ __all__ = [
     "Parameter",
     "ParameterSpace",
     "stack_permutations",
+    "ConstraintContext",
+    "ConstraintRegistry",
+    "ConstraintViolation",
+    "ConstraintViolationError",
+    "UpperBoundConstraint",
+    "DivisibilityConstraint",
+    "default_constraints",
     "IOPhase",
     "MAX_SAMPLE",
     "MetadataStream",
@@ -76,6 +91,7 @@ __all__ = [
     "EvaluationCache",
     "EvaluationStats",
     "workload_fingerprint",
+    "AGENT_FAULT_MODES",
     "DegradedWindow",
     "EvaluationError",
     "EvaluationTimeout",

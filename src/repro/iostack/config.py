@@ -15,7 +15,13 @@ from typing import Any, Iterator, Mapping
 
 import numpy as np
 
-from .parameters import ParameterSpace, TUNED_SPACE
+from .parameters import (
+    TUNED_SPACE,
+    ConstraintContext,
+    ConstraintRegistry,
+    ConstraintViolation,
+    ParameterSpace,
+)
 
 __all__ = ["StackConfiguration", "to_xml", "from_xml"]
 
@@ -136,6 +142,38 @@ class StackConfiguration(Mapping[str, Any]):
         merged = dict(self._values)
         merged.update(updates)
         return StackConfiguration(self._space, merged)
+
+    # -- cross-parameter constraints ----------------------------------------------
+
+    def violations(
+        self,
+        registry: "ConstraintRegistry",
+        context: "ConstraintContext | None" = None,
+    ) -> list["ConstraintViolation"]:
+        """Constraints of ``registry`` this configuration violates."""
+        return registry.violations(self._values, context)
+
+    def validate(
+        self,
+        registry: "ConstraintRegistry",
+        context: "ConstraintContext | None" = None,
+    ) -> None:
+        """Raise :class:`~repro.iostack.parameters.ConstraintViolationError`
+        if any constraint of ``registry`` fails; actionable per-violation
+        messages include the repaired value."""
+        registry.validate(self._values, context)
+
+    def repaired(
+        self,
+        registry: "ConstraintRegistry",
+        context: "ConstraintContext | None" = None,
+    ) -> "StackConfiguration":
+        """A constraint-clean copy (``self`` when already clean, so the
+        happy path allocates nothing new)."""
+        fixed = registry.repair(self._values, context)
+        if fixed == self._values:
+            return self
+        return StackConfiguration(self._space, fixed)
 
 
 def to_xml(config: StackConfiguration) -> str:

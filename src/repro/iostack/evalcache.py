@@ -144,6 +144,10 @@ class EvaluationStats:
     fallbacks: int = 0
     #: Faults the plan injected (transient errors + stragglers).
     faults_injected: int = 0
+    #: Agent guardrail trips recorded during the run (weight corruption,
+    #: training divergence, degenerate policies); details live on
+    #: :attr:`~repro.tuners.base.TuningResult.guardrail_trips`.
+    guardrail_trips: int = 0
 
     @property
     def cache_hit_rate(self) -> float:

@@ -58,6 +58,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (simulator imports us
     from .config import StackConfiguration
 
 __all__ = [
+    "AGENT_FAULT_MODES",
     "EvaluationError",
     "TransientFaultError",
     "PoisonedConfigError",
@@ -66,6 +67,28 @@ __all__ = [
     "FaultPlan",
     "config_digest",
 ]
+
+#: Agent-level fault modes (``FaultPlan.agent_fault``), one per
+#: degradation path of the guardrailed pipeline:
+#:
+#: * ``nan-weights`` -- both agents' network weights overwritten with
+#:   NaN (silent in-memory corruption).
+#: * ``explode-weights`` -- weights overwritten with huge finite values
+#:   (a training blow-up that never went non-finite).
+#: * ``stop-now`` -- degenerate always-stop early-stopper policy.
+#: * ``empty-subset`` -- the subset picker emits empty subsets.
+#: * ``constant-subset`` -- the subset picker emits the same fixed
+#:   subset forever, ignoring its inputs.
+#: * ``checkpoint-truncation`` -- the agents checkpoint file is
+#:   truncated after saving, so the next load fails validation.
+AGENT_FAULT_MODES = (
+    "nan-weights",
+    "explode-weights",
+    "stop-now",
+    "empty-subset",
+    "constant-subset",
+    "checkpoint-truncation",
+)
 
 
 class EvaluationError(Exception):
@@ -160,6 +183,13 @@ class FaultPlan:
         Per-replay probability and magnitude of a latency straggler.
     degraded_windows:
         Simulated-clock intervals of file-system degradation.
+    agent_fault, agent_fault_at:
+        Agent-level fault mode (one of :data:`AGENT_FAULT_MODES`, or
+        ``None``) and the tuning iteration it engages at.  Consumed by
+        the guarded agent wrappers
+        (:class:`repro.core.smart_config.GuardedSubsetPicker`,
+        :class:`repro.core.early_stopping.GuardedStopper`) and the CLI's
+        checkpoint path; deterministic (no random stream involved).
     """
 
     seed: int = 0
@@ -167,6 +197,8 @@ class FaultPlan:
     straggler_rate: float = 0.0
     straggler_slowdown: float = 4.0
     degraded_windows: tuple[DegradedWindow, ...] = ()
+    agent_fault: str | None = None
+    agent_fault_at: int = 0
 
     #: Cumulative injection counters (observability; not part of the
     #: determinism contract).
@@ -186,6 +218,13 @@ class FaultPlan:
             raise ValueError("straggler_rate must be in [0, 1)")
         if self.straggler_slowdown < 1.0:
             raise ValueError("straggler_slowdown must be >= 1")
+        if self.agent_fault is not None and self.agent_fault not in AGENT_FAULT_MODES:
+            raise ValueError(
+                f"unknown agent_fault {self.agent_fault!r}; "
+                f"known modes: {', '.join(AGENT_FAULT_MODES)}"
+            )
+        if self.agent_fault_at < 0:
+            raise ValueError("agent_fault_at must be >= 0")
         self.degraded_windows = tuple(self.degraded_windows)
 
     # -- configuration ---------------------------------------------------------
@@ -198,7 +237,14 @@ class FaultPlan:
             or self.straggler_rate > 0
             or self.degraded_windows
             or self._poisoned
+            or self.agent_fault is not None
         )
+
+    def agent_fault_active(self, iteration: int) -> str | None:
+        """The agent fault mode engaged at ``iteration``, or ``None``."""
+        if self.agent_fault is None or iteration < self.agent_fault_at:
+            return None
+        return self.agent_fault
 
     def poison(self, config: "StackConfiguration") -> None:
         """Register a configuration that always fails."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -33,6 +33,13 @@ __all__ = [
     "TUNED_SPACE",
     "LIBRARY_CATALOG",
     "stack_permutations",
+    "ConstraintContext",
+    "ConstraintViolation",
+    "ConstraintViolationError",
+    "UpperBoundConstraint",
+    "DivisibilityConstraint",
+    "ConstraintRegistry",
+    "default_constraints",
 ]
 
 
@@ -233,6 +240,363 @@ class ParameterSpace:
         if unknown:
             raise KeyError(f"unknown parameters: {sorted(unknown)}")
         return ParameterSpace([p for p in self._params if p.name in wanted])
+
+
+# -- cross-parameter constraints ----------------------------------------------------
+#
+# A candidate-value set bounds each parameter individually, but nothing in
+# the genome encoding stops the GA from assembling *combinations* that no
+# real stack would accept: a stripe count above the file system's OST
+# count, more collective-buffering aggregators than MPI ranks, an HDF5
+# alignment coarser than the Lustre stripe it is meant to align with.
+# Exploring those wastes generations (Lustre/ROMIO silently clamp them,
+# so whole regions of the genome space alias to the same behaviour) and
+# makes reported "best" configurations unreproducible on the testbed.
+#
+# The registry below makes the rules declarative: each constraint can
+# *check* an assignment and *repair* it deterministically (always by
+# lowering the offending parameter to the largest candidate that
+# satisfies the rule, so repair is idempotent and order-stable).
+
+
+@dataclass(frozen=True)
+class ConstraintContext:
+    """Run-scale facts constraints are evaluated against.
+
+    ``None`` for a field means "unknown": constraints needing it are
+    skipped, so an unbound registry never rejects anything the candidate
+    sets allow.
+    """
+
+    #: Object storage targets of the file system (bounds stripe count).
+    n_osts: int | None = None
+    #: Total MPI ranks of the tuned job (bounds aggregator count).
+    n_procs: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_osts is not None and self.n_osts < 1:
+            raise ValueError("n_osts must be >= 1 (or None)")
+        if self.n_procs is not None and self.n_procs < 1:
+            raise ValueError("n_procs must be >= 1 (or None)")
+
+    @classmethod
+    def for_run(cls, platform: Any, workload: Any = None) -> "ConstraintContext":
+        """Context for tuning ``workload`` on ``platform`` (objects with
+        ``n_osts`` / ``n_procs`` attributes; either may be None)."""
+        n_osts = getattr(platform, "n_osts", None) if platform is not None else None
+        if workload is not None:
+            n_procs = getattr(workload, "n_procs", None)
+        else:
+            n_procs = getattr(platform, "total_procs", None) if platform is not None else None
+        return cls(n_osts=n_osts, n_procs=n_procs)
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """One violated rule, with an actionable suggestion."""
+
+    constraint: str
+    parameter: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.constraint}] {self.message}"
+
+
+class ConstraintViolationError(ValueError):
+    """A configuration failed strict validation.
+
+    Carries the individual :class:`ConstraintViolation` entries so
+    callers (the CLI) can render each with its suggested fix.
+    """
+
+    def __init__(self, violations: Sequence[ConstraintViolation]):
+        self.violations = tuple(violations)
+        lines = "; ".join(str(v) for v in self.violations)
+        super().__init__(f"configuration violates {len(self.violations)} constraint(s): {lines}")
+
+
+def _largest_candidate_leq(param: Parameter, bound: int) -> Any | None:
+    """The largest numeric candidate <= bound (None when all exceed it)."""
+    ok = [v for v in param.values if isinstance(v, (int, float)) and v <= bound]
+    return max(ok) if ok else None
+
+
+class UpperBoundConstraint:
+    """``param <= bound(context)`` for a numeric parameter.
+
+    ``bound`` maps a :class:`ConstraintContext` to the inclusive limit,
+    or to ``None`` when the context does not pin one (constraint
+    skipped).  Repair clamps to the largest candidate within the bound
+    (or the smallest candidate overall if every candidate exceeds it --
+    validate still reports that residue).
+    """
+
+    def __init__(self, param: str, bound: Callable[[ConstraintContext], int | None],
+                 name: str, description: str):
+        self.param = param
+        self.bound = bound
+        self.name = name
+        self.description = description
+
+    def parameters(self) -> tuple[str, ...]:
+        return (self.param,)
+
+    def check(self, values: Mapping[str, Any], space: ParameterSpace,
+              context: ConstraintContext) -> ConstraintViolation | None:
+        if self.param not in space:
+            return None
+        limit = self.bound(context)
+        if limit is None:
+            return None
+        value = values[self.param]
+        if value <= limit:
+            return None
+        suggestion = _largest_candidate_leq(space[self.param], limit)
+        hint = (
+            f"; repair would set {self.param}={suggestion}"
+            if suggestion is not None
+            else f"; no candidate value of {self.param} fits (smallest is "
+                 f"{min(space[self.param].values)})"
+        )
+        return ConstraintViolation(
+            constraint=self.name,
+            parameter=self.param,
+            message=f"{self.param}={value} exceeds {self.description} ({limit}){hint}",
+        )
+
+    def repair(self, values: dict[str, Any], space: ParameterSpace,
+               context: ConstraintContext) -> bool:
+        if self.param not in space:
+            return False
+        limit = self.bound(context)
+        if limit is None or values[self.param] <= limit:
+            return False
+        candidate = _largest_candidate_leq(space[self.param], limit)
+        if candidate is None:
+            candidate = min(space[self.param].values)
+        if values[self.param] == candidate:
+            return False
+        values[self.param] = candidate
+        return True
+
+
+class DivisibilityConstraint:
+    """``dividend % divisor == 0`` between two size parameters.
+
+    The finer parameter (``divisor``) must evenly divide the coarser one
+    (``dividend``); repair lowers the divisor to the largest candidate
+    that divides the current dividend value.  Non-positive values (e.g.
+    the alignment-off sentinel ``1``) always satisfy the rule as long as
+    they divide.
+    """
+
+    def __init__(self, divisor: str, dividend: str, name: str, description: str):
+        self.divisor = divisor
+        self.dividend = dividend
+        self.name = name
+        self.description = description
+
+    def parameters(self) -> tuple[str, ...]:
+        return (self.divisor, self.dividend)
+
+    def _divides(self, divisor: Any, dividend: Any) -> bool:
+        if not isinstance(divisor, int) or not isinstance(dividend, int):
+            return True
+        if divisor <= 0 or dividend <= 0:
+            return True
+        return dividend % divisor == 0
+
+    def check(self, values: Mapping[str, Any], space: ParameterSpace,
+              context: ConstraintContext) -> ConstraintViolation | None:
+        if self.divisor not in space or self.dividend not in space:
+            return None
+        a, b = values[self.divisor], values[self.dividend]
+        if self._divides(a, b):
+            return None
+        fix = self._best_divisor(space[self.divisor], b)
+        hint = f"; repair would set {self.divisor}={fix}" if fix is not None else ""
+        return ConstraintViolation(
+            constraint=self.name,
+            parameter=self.divisor,
+            message=f"{self.divisor}={a} does not divide {self.dividend}={b} "
+                    f"({self.description}){hint}",
+        )
+
+    def _best_divisor(self, param: Parameter, dividend: Any) -> Any | None:
+        ok = [
+            v for v in param.values
+            if isinstance(v, int) and self._divides(v, dividend)
+        ]
+        return max(ok) if ok else None
+
+    def repair(self, values: dict[str, Any], space: ParameterSpace,
+               context: ConstraintContext) -> bool:
+        if self.divisor not in space or self.dividend not in space:
+            return False
+        a, b = values[self.divisor], values[self.dividend]
+        if self._divides(a, b):
+            return False
+        candidate = self._best_divisor(space[self.divisor], b)
+        if candidate is None:
+            candidate = min(v for v in space[self.divisor].values if isinstance(v, int))
+        if values[self.divisor] == candidate:
+            return False
+        values[self.divisor] = candidate
+        return True
+
+
+#: Repair passes before declaring non-convergence (each pass only lowers
+#: values, so the fixed point is reached in at most one pass per
+#: constraint; the margin is defensive).
+_MAX_REPAIR_PASSES = 8
+
+
+class ConstraintRegistry:
+    """An ordered set of cross-parameter constraints over one space.
+
+    ``validate`` is the strict gate for user-supplied configurations
+    (raises :class:`ConstraintViolationError` with one actionable line
+    per violation); ``repair`` is the deterministic, idempotent projection
+    the GA applies to every bred genome so variation can never emit an
+    invalid individual.  Because every repair step only *lowers* the
+    offending parameter to the largest satisfying candidate, repair
+    converges to the same fixed point whatever order the constraints are
+    applied in (chaotic iteration of deflationary monotone operators).
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        constraints: Sequence[Any],
+        context: ConstraintContext | None = None,
+    ):
+        self.space = space
+        self.constraints = tuple(constraints)
+        self.context = context if context is not None else ConstraintContext()
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.constraints)
+
+    def with_context(self, context: ConstraintContext) -> "ConstraintRegistry":
+        """The same rules bound to a different run context."""
+        return ConstraintRegistry(self.space, self.constraints, context)
+
+    def violations(
+        self, values: Mapping[str, Any], context: ConstraintContext | None = None
+    ) -> list[ConstraintViolation]:
+        """Every violated constraint for a full name->value assignment."""
+        ctx = context if context is not None else self.context
+        out = []
+        for constraint in self.constraints:
+            violation = constraint.check(values, self.space, ctx)
+            if violation is not None:
+                out.append(violation)
+        return out
+
+    def validate(
+        self, values: Mapping[str, Any], context: ConstraintContext | None = None
+    ) -> None:
+        """Strict gate: raise :class:`ConstraintViolationError` listing
+        every violation (with its suggested repair) if any rule fails."""
+        found = self.violations(values, context)
+        if found:
+            raise ConstraintViolationError(found)
+
+    def repair(
+        self, values: Mapping[str, Any], context: ConstraintContext | None = None
+    ) -> dict[str, Any]:
+        """A constraint-clean copy of ``values``.
+
+        Deterministic and idempotent: repairing an already-clean
+        assignment returns an equal dict, and repairing a repaired one
+        changes nothing.  Runs the constraint list to a fixed point so
+        one repair cannot un-satisfy an earlier rule.
+        """
+        ctx = context if context is not None else self.context
+        out = dict(values)
+        for _ in range(_MAX_REPAIR_PASSES):
+            changed = False
+            for constraint in self.constraints:
+                changed |= constraint.repair(out, self.space, ctx)
+            if not changed:
+                return out
+        raise RuntimeError(
+            f"constraint repair did not converge in {_MAX_REPAIR_PASSES} passes "
+            f"(registry {self.constraints!r} is not deflationary)"
+        )  # pragma: no cover - guarded by construction
+
+    def repair_genome(
+        self,
+        indices: Sequence[int] | np.ndarray,
+        context: ConstraintContext | None = None,
+    ) -> np.ndarray:
+        """Genome-level repair: decode, repair, re-encode.  Returns the
+        input array unchanged (same object) when already clean, so GA
+        callers can cheaply detect no-ops."""
+        values = self.space.decode(indices)
+        repaired = self.repair(values, context)
+        if repaired == values:
+            return np.asarray(indices, dtype=np.int64)
+        return self.space.encode(repaired)
+
+
+def default_constraints(
+    space: ParameterSpace | None = None,
+    context: ConstraintContext | None = None,
+) -> ConstraintRegistry:
+    """The stock rules for the paper's HDF5/MPI-IO/Lustre space.
+
+    ===================  =======================================================
+    constraint           rule
+    ===================  =======================================================
+    stripe-vs-osts       ``striping_factor <= platform OST count``
+    aggregators-vs-ranks ``cb_nodes <= job MPI ranks``
+    alignment-divides    ``striping_unit % alignment == 0`` (HDF5 objects land
+                         on stripe boundaries)
+    stripe-divides-cb    ``cb_buffer_size % striping_unit == 0`` (each ROMIO
+                         flush covers whole stripes)
+    ===================  =======================================================
+
+    Constraints referring to parameters absent from ``space`` are kept
+    but skip silently, so subset spaces work unchanged.
+    """
+    if space is None:
+        space = TUNED_SPACE
+    return ConstraintRegistry(
+        space,
+        (
+            UpperBoundConstraint(
+                "striping_factor",
+                lambda ctx: ctx.n_osts,
+                name="stripe-vs-osts",
+                description="the file system's OST count",
+            ),
+            UpperBoundConstraint(
+                "cb_nodes",
+                lambda ctx: ctx.n_procs,
+                name="aggregators-vs-ranks",
+                description="the job's MPI rank count",
+            ),
+            DivisibilityConstraint(
+                "alignment",
+                "striping_unit",
+                name="alignment-divides-stripe",
+                description="HDF5 alignment must place objects on Lustre "
+                            "stripe boundaries",
+            ),
+            DivisibilityConstraint(
+                "striping_unit",
+                "cb_buffer_size",
+                name="stripe-divides-cb",
+                description="collective buffer flushes must cover whole stripes",
+            ),
+        ),
+        context=context,
+    )
 
 
 def _build_tuned_space() -> ParameterSpace:

@@ -10,6 +10,17 @@ use.
 from .bandit import NeuralContextualBandit
 from .curves import LogCurve, LogCurveGenerator
 from .env import Box, Discrete, Env
+from .guardrails import (
+    CheckpointError,
+    GuardrailMonitor,
+    GuardrailTrip,
+    LossDivergenceMonitor,
+    bandit_weight_issue,
+    corrupt_network,
+    network_weight_issue,
+    qagent_weight_issue,
+    validate_agent_checkpoint,
+)
 from .nn import ACTIVATIONS, Adam, Dense, MLP
 from .pca import (
     PCAResult,
@@ -22,6 +33,15 @@ from .replay import DelayedRewardBuffer, ReplayBuffer, Transition
 
 __all__ = [
     "NeuralContextualBandit",
+    "CheckpointError",
+    "GuardrailMonitor",
+    "GuardrailTrip",
+    "LossDivergenceMonitor",
+    "bandit_weight_issue",
+    "corrupt_network",
+    "network_weight_issue",
+    "qagent_weight_issue",
+    "validate_agent_checkpoint",
     "LogCurve",
     "LogCurveGenerator",
     "Box",

@@ -1,0 +1,346 @@
+"""Guardrails for the RL agents: detect broken learning, never act on it.
+
+TunIO's promise is that its agents only ever *help*: Impact-First
+subsetting and RL early stopping should make tuning cheaper, never make
+the tuned result worse than plain HSTuner.  A NaN-poisoned network, an
+exploded Q-function, a truncated checkpoint or a policy that collapsed
+into "always stop" breaks that promise silently -- inference still
+returns *something*, and the GA dutifully obeys it for a whole campaign.
+
+This module supplies the detection layer:
+
+* **Weight checks** -- :func:`network_weight_issue` (and the
+  :class:`~repro.rl.qlearning.QLearningAgent` /
+  :class:`~repro.rl.bandit.NeuralContextualBandit` conveniences) scan an
+  :class:`~repro.rl.nn.MLP`'s parameters for non-finite or exploded
+  values.  Scans are pure reads: no forward pass, no RNG, no state
+  change -- calling them on a healthy agent leaves a tuning run
+  bit-identical.
+* **Training monitors** -- :class:`LossDivergenceMonitor` watches the
+  loss/gradient-norm telemetry the networks publish
+  (:attr:`MLP.last_loss` / :attr:`MLP.last_grad_norm`) for divergence
+  and gradient explosion.
+* **Trip bookkeeping** -- :class:`GuardrailMonitor` records every
+  :class:`GuardrailTrip` and deduplicates the user-facing warnings (one
+  line per distinct guardrail/kind, however many evaluations re-trip it).
+* **Checkpoint validation** -- :func:`validate_agent_checkpoint` checks
+  an agent checkpoint's schema, version and value sanity before any
+  weight is installed; :class:`CheckpointError` is the single failure
+  type the pipeline (and the CLI's exit-code mapping) handles.
+
+What to *do* about a trip lives with the components that can degrade
+gracefully: :class:`repro.core.smart_config.GuardedSubsetPicker`,
+:class:`repro.core.early_stopping.GuardedStopper` and
+:class:`repro.tuners.stoppers.FallbackStopper`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from .nn import MLP
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .bandit import NeuralContextualBandit
+    from .qlearning import QLearningAgent
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "GuardrailTrip",
+    "GuardrailMonitor",
+    "LossDivergenceMonitor",
+    "network_weight_issue",
+    "qagent_weight_issue",
+    "bandit_weight_issue",
+    "corrupt_network",
+    "validate_agent_checkpoint",
+]
+
+#: Magnitude beyond which a weight is considered exploded even though it
+#: is still finite (Adam with MSE on normalised features keeps healthy
+#: weights many orders of magnitude below this).
+WEIGHT_LIMIT = 1e12
+
+# -- trips ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GuardrailTrip:
+    """One guardrail activation.
+
+    ``guardrail`` names the guarded component (``subset-picker``,
+    ``early-stopper``, ``checkpoint``); ``kind`` the failure class
+    (``non-finite-weights``, ``exploded-weights``, ``loss-divergence``,
+    ``gradient-explosion``, ``degenerate-policy``, ``invalid-output``,
+    ``schema``); ``detail`` is the human-readable specifics.
+    """
+
+    guardrail: str
+    kind: str
+    detail: str
+    iteration: int | None = None
+
+    def __str__(self) -> str:
+        where = f" at iteration {self.iteration}" if self.iteration is not None else ""
+        return f"{self.guardrail}:{self.kind}{where} ({self.detail})"
+
+
+class GuardrailMonitor:
+    """Collects guardrail trips and deduplicates their warnings.
+
+    A guardrail that keeps re-tripping (a NaN network is scanned before
+    *every* decision) records every trip but surfaces **one** warning
+    line per distinct ``(guardrail, kind)`` pair, so long campaigns do
+    not flood stdout or the journal.  :meth:`drain_warnings` hands the
+    not-yet-emitted lines to the caller (the pipeline drains once per
+    generation).
+    """
+
+    def __init__(self) -> None:
+        self._trips: list[GuardrailTrip] = []
+        self._seen: set[tuple[str, str]] = set()
+        self._pending: list[str] = []
+
+    def trip(
+        self,
+        guardrail: str,
+        kind: str,
+        detail: str,
+        iteration: int | None = None,
+    ) -> GuardrailTrip:
+        """Record a trip; queue its warning unless an identical
+        ``(guardrail, kind)`` already produced one."""
+        trip = GuardrailTrip(guardrail, kind, detail, iteration)
+        self._trips.append(trip)
+        key = (guardrail, kind)
+        if key not in self._seen:
+            self._seen.add(key)
+            self._pending.append(f"guardrail tripped: {trip}")
+        return trip
+
+    @property
+    def trips(self) -> tuple[GuardrailTrip, ...]:
+        return tuple(self._trips)
+
+    def tripped(self, guardrail: str | None = None) -> bool:
+        """Whether anything (or a specific guardrail) has tripped."""
+        if guardrail is None:
+            return bool(self._trips)
+        return any(t.guardrail == guardrail for t in self._trips)
+
+    def drain_warnings(self) -> list[str]:
+        """Deduplicated warning lines queued since the last drain."""
+        out, self._pending = self._pending, []
+        return out
+
+    def describe(self) -> str:
+        """One-line summary for the CLI's ``guardrails:`` report."""
+        if not self._trips:
+            return "clean"
+        kinds: dict[tuple[str, str], int] = {}
+        for t in self._trips:
+            kinds[(t.guardrail, t.kind)] = kinds.get((t.guardrail, t.kind), 0) + 1
+        parts = [
+            f"{g}:{k}" + (f" x{n}" if n > 1 else "") for (g, k), n in kinds.items()
+        ]
+        return f"{len(self._trips)} trip(s) [{', '.join(parts)}]"
+
+    def reset(self) -> None:
+        self._trips.clear()
+        self._seen.clear()
+        self._pending.clear()
+
+
+# -- weight checks -------------------------------------------------------------------
+
+
+def network_weight_issue(mlp: MLP, limit: float = WEIGHT_LIMIT) -> str | None:
+    """Why an MLP's parameters are unusable, or ``None`` if healthy.
+
+    Pure read: no forward pass, no RNG draw, no mutation.
+    """
+    for i, layer in enumerate(mlp.layers):
+        for label, arr in (("weights", layer.weight), ("biases", layer.bias)):
+            if not np.all(np.isfinite(arr)):
+                return f"non-finite {label} in layer {i}"
+            peak = float(np.abs(arr).max()) if arr.size else 0.0
+            if peak > limit:
+                return f"exploded {label} in layer {i} (|w| up to {peak:.3g})"
+    return None
+
+
+def qagent_weight_issue(agent: "QLearningAgent", limit: float = WEIGHT_LIMIT) -> str | None:
+    """Weight issue in a Q-learning agent's online or target network."""
+    issue = network_weight_issue(agent.q_network, limit)
+    if issue is not None:
+        return f"q-network: {issue}"
+    issue = network_weight_issue(agent.target_network, limit)
+    if issue is not None:
+        return f"target-network: {issue}"
+    return None
+
+
+def bandit_weight_issue(
+    bandit: "NeuralContextualBandit", limit: float = WEIGHT_LIMIT
+) -> str | None:
+    """Weight issue in a contextual bandit's reward model."""
+    issue = network_weight_issue(bandit.model, limit)
+    if issue is not None:
+        return f"reward-model: {issue}"
+    return None
+
+
+def corrupt_network(mlp: MLP, mode: str) -> None:
+    """Deterministically corrupt a network in place (fault injection).
+
+    ``nan-weights`` poisons every parameter with NaN; ``explode-weights``
+    sets them to a huge finite magnitude.  Used by the agent-level fault
+    modes so the detection path is exercised end-to-end on the *real*
+    corrupted networks, not on mocks.
+    """
+    if mode == "nan-weights":
+        value = float("nan")
+    elif mode == "explode-weights":
+        value = 1e30
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    for layer in mlp.layers:
+        layer.weight.fill(value)
+        layer.bias.fill(value)
+
+
+# -- training monitors ----------------------------------------------------------------
+
+
+class LossDivergenceMonitor:
+    """Watches a training-loss stream for divergence and exploding
+    gradients.
+
+    Feed it the per-step telemetry the networks publish
+    (:attr:`MLP.last_loss` / :attr:`MLP.last_grad_norm`);
+    :meth:`observe` returns a trip reason when the stream goes bad, and
+    ``None`` while it is healthy.  Divergence means the loss exceeds
+    ``divergence_factor`` times the running baseline established over
+    the first ``warmup`` healthy observations -- a slowly rising loss is
+    normal online-RL noise, a 100x jump is a broken optimiser.
+    """
+
+    def __init__(
+        self,
+        divergence_factor: float = 100.0,
+        grad_limit: float = 1e6,
+        warmup: int = 5,
+    ):
+        if divergence_factor <= 1.0:
+            raise ValueError("divergence_factor must be > 1")
+        if grad_limit <= 0:
+            raise ValueError("grad_limit must be positive")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        self.divergence_factor = divergence_factor
+        self.grad_limit = grad_limit
+        self.warmup = warmup
+        self._seen = 0
+        self._baseline = 0.0
+
+    def observe(self, loss: float | None, grad_norm: float | None = None) -> str | None:
+        """Record one training step; return a trip reason or ``None``."""
+        if loss is None:
+            return None
+        if not np.isfinite(loss):
+            return f"non-finite training loss ({loss})"
+        if grad_norm is not None:
+            if not np.isfinite(grad_norm):
+                return f"non-finite gradient norm ({grad_norm})"
+            if grad_norm > self.grad_limit:
+                return (
+                    f"gradient explosion (|grad| {grad_norm:.3g} "
+                    f"> limit {self.grad_limit:.3g})"
+                )
+        if self._seen >= self.warmup:
+            threshold = self.divergence_factor * max(self._baseline, 1e-12)
+            if loss > threshold:
+                return (
+                    f"loss divergence ({loss:.3g} > {self.divergence_factor:g}x "
+                    f"baseline {self._baseline:.3g})"
+                )
+        # Running mean of healthy losses only (a diverged step must not
+        # drag the baseline up after itself).
+        self._baseline = (self._baseline * self._seen + float(loss)) / (self._seen + 1)
+        self._seen += 1
+        return None
+
+    def reset(self) -> None:
+        self._seen = 0
+        self._baseline = 0.0
+
+
+# -- checkpoint validation -------------------------------------------------------------
+
+#: Version written into agent checkpoints by ``save_agents``.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """An agent checkpoint failed schema/version/shape/value validation.
+
+    Raised before any weight is installed, so a bad checkpoint can never
+    half-load an agent; the message names the offending key and the fix.
+    """
+
+
+def validate_agent_checkpoint(
+    data: Mapping[str, Any],
+    path: str = "<checkpoint>",
+) -> None:
+    """Validate a :func:`~repro.core.offline_training.save_agents`-style
+    payload (name -> array) before installing any weights.
+
+    Checks performed, in order:
+
+    * a ``checkpoint_version`` no newer than this build understands
+      (missing = legacy, accepted);
+    * the schema: ``impact_scores`` plus at least one ``smart_`` and one
+      ``stop_`` weight array each;
+    * every array finite (a NaN-poisoned checkpoint is rejected here, so
+      corruption is caught at load time rather than mid-campaign);
+    * ``impact_scores`` non-negative with positive sum.
+    """
+    keys = list(data.keys())
+    version_arr = data.get("checkpoint_version")
+    if version_arr is not None:
+        version = int(np.asarray(version_arr))
+        if version > CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{path}: checkpoint version {version} is newer than this "
+                f"build understands (max {CHECKPOINT_VERSION}); re-train the "
+                f"agents or upgrade"
+            )
+    if "impact_scores" not in keys:
+        raise CheckpointError(
+            f"{path}: missing 'impact_scores' (not an agents checkpoint, or "
+            f"truncated during write); re-train with --agents-cache to rebuild"
+        )
+    for prefix, component in (("smart_", "smart-config agent"), ("stop_", "early stopper")):
+        if not any(k.startswith(prefix) for k in keys):
+            raise CheckpointError(
+                f"{path}: no '{prefix}*' arrays -- the {component} weights are "
+                f"missing (truncated or partial checkpoint); re-train to rebuild"
+            )
+    for key in keys:
+        arr = np.asarray(data[key])
+        if arr.dtype.kind == "f" and not np.all(np.isfinite(arr)):
+            raise CheckpointError(
+                f"{path}: array {key!r} contains non-finite values (corrupted "
+                f"checkpoint); re-train to rebuild"
+            )
+    impact = np.asarray(data["impact_scores"], dtype=float)
+    if impact.ndim != 1 or impact.size < 1 or np.any(impact < 0) or impact.sum() <= 0:
+        raise CheckpointError(
+            f"{path}: 'impact_scores' must be a non-negative 1-D array with a "
+            f"positive sum, got shape {impact.shape}"
+        )

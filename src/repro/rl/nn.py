@@ -180,6 +180,11 @@ class MLP:
             self.layers.append(Dense(a, b, act, rng))
         params = [p for layer in self.layers for p in layer.parameters]
         self.optimizer = Adam(params, learning_rate=learning_rate)
+        #: Telemetry from the most recent :meth:`train_batch` call, read
+        #: by the guardrail monitors (pure observers -- recording them
+        #: changes nothing about training).
+        self.last_loss: float | None = None
+        self.last_grad_norm: float | None = None
 
     # -- inference -----------------------------------------------------------
 
@@ -223,6 +228,10 @@ class MLP:
             grads.append(dw)
         grads.reverse()
         self.optimizer.step(grads)
+        self.last_loss = loss
+        self.last_grad_norm = float(
+            np.sqrt(sum(float((g * g).sum()) for g in grads))
+        )
         return loss
 
     def fit(

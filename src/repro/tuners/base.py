@@ -61,6 +61,10 @@ class TuningResult:
     #: Evaluation-fastpath accounting (cache hit rate, trace reuse...);
     #: populated by tuners that track it, None otherwise.
     eval_stats: EvaluationStats | None = None
+    #: Human-readable agent guardrail trips ("guardrail:kind at
+    #: iteration N (detail)"); empty when the agents stayed healthy (or
+    #: the tuner has no guarded agents).
+    guardrail_trips: tuple[str, ...] = ()
 
     @property
     def best_perf(self) -> float:

@@ -49,6 +49,7 @@ bit-identically (see :mod:`repro.tuners.journal`).
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
@@ -58,6 +59,7 @@ from repro.ga import (
     EvolutionEngine,
     Individual,
     Toolbox,
+    repair_individual,
     tournament_pair,
     uniform_crossover,
     uniform_reset_mutation,
@@ -66,7 +68,7 @@ from repro.iostack.clock import SimulatedClock
 from repro.iostack.config import StackConfiguration
 from repro.iostack.evalcache import EvaluationCache, EvaluationStats
 from repro.iostack.faults import EvaluationError
-from repro.iostack.parameters import TUNED_SPACE, ParameterSpace
+from repro.iostack.parameters import TUNED_SPACE, ConstraintRegistry, ParameterSpace
 from repro.iostack.simulator import IOStackSimulator, StackTrace, WorkloadLike
 
 from .base import IterationRecord, Tuner, TuningResult
@@ -131,6 +133,20 @@ class HSTuner(Tuner):
         How evaluation failures are retried/timed-out/quarantined; see
         :class:`~repro.tuners.resilience.RetryPolicy`.  The default
         policy never engages unless something actually fails.
+    constraints:
+        Optional cross-parameter
+        :class:`~repro.iostack.parameters.ConstraintRegistry`.  When
+        given, a ``repair`` hook is registered in the GA toolbox so
+        every bred individual (initial population and post-variation
+        offspring) is projected onto the constraint-satisfying region,
+        and a user-supplied ``seed_config`` is strictly validated up
+        front (raising with one actionable message per violation).
+        ``None`` (the default) changes nothing -- runs stay bit-identical
+        to pre-constraint builds.
+    seed_config:
+        Optional starting configuration for the GA (defaults to the
+        library defaults).  Must belong to ``space``; validated against
+        ``constraints`` when both are given.
     """
 
     name = "hstuner"
@@ -150,9 +166,20 @@ class HSTuner(Tuner):
         batch_workers: int | None = None,
         dedupe_duplicates: bool = False,
         retry_policy: RetryPolicy | None = None,
+        constraints: ConstraintRegistry | None = None,
+        seed_config: StackConfiguration | None = None,
     ):
         if batch_workers is not None and batch_workers < 1:
             raise ValueError("batch_workers must be >= 1 (or None for serial)")
+        if seed_config is not None and seed_config.space != space:
+            raise ValueError(
+                "seed_config belongs to a different parameter space than the tuner"
+            )
+        if constraints is not None and seed_config is not None:
+            # Strict gate for user-supplied seeds: fail fast with one
+            # actionable message per violation (bred individuals are
+            # repaired instead, never rejected).
+            seed_config.validate(constraints)
         self.simulator = simulator
         self.space = space
         self.population_size = population_size
@@ -166,6 +193,8 @@ class HSTuner(Tuner):
         self.batch_workers = batch_workers
         self.dedupe_duplicates = dedupe_duplicates
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.constraints = constraints
+        self.seed_config = seed_config
         self.clock = SimulatedClock()
         self._active_subset_size: int | None = None
         self._n_evaluations = 0
@@ -207,6 +236,48 @@ class HSTuner(Tuner):
 
     def _observe_iteration(self, record: IterationRecord) -> None:
         """Hook called after each iteration (TunIO feeds its agents)."""
+
+    def _drain_guardrail_warnings(self) -> list[str]:
+        """Deduplicated guardrail warning lines queued since the last
+        drain (overridden by tuners that carry a guardrail monitor)."""
+        return []
+
+    def _guardrail_trip_count(self) -> int:
+        """Guardrail trips recorded this run (0 for the plain tuner)."""
+        return 0
+
+    # -- per-generation warning summaries -----------------------------------
+
+    def _resilience_counts(self) -> dict[str, int]:
+        s = self._resilient.stats
+        return {
+            "retries": s.retries,
+            "timeouts": s.timeouts,
+            "quarantined": s.quarantined,
+            "fallbacks": s.fallbacks,
+        }
+
+    def _warn_generation_events(
+        self, iteration: int, before: dict[str, int]
+    ) -> None:
+        """Emit at most one resilience summary per generation (instead
+        of one line per retried evaluation) plus any queued guardrail
+        warnings -- each trip kind surfaces once per run, not once per
+        decision."""
+        after = self._resilience_counts()
+        parts = [
+            f"{after[key] - before[key]} {key}"
+            for key in after
+            if after[key] > before[key]
+        ]
+        lines = []
+        if parts:
+            lines.append(
+                f"iteration {iteration}: resilience events: " + ", ".join(parts)
+            )
+        lines.extend(self._drain_guardrail_warnings())
+        for line in lines:
+            warnings.warn(line, RuntimeWarning, stacklevel=3)
 
     # -- pipeline --------------------------------------------------------------
 
@@ -254,15 +325,19 @@ class HSTuner(Tuner):
             return perfs
 
         def generate(n: int, rng: np.random.Generator) -> list[Individual]:
-            # HSTuner explores outward from the library defaults: the
-            # initial population is the default configuration plus
-            # neighbour perturbations of it.  (Uniform-random seeding
-            # would start the search deep inside the space and skip the
-            # climb the paper's tuning curves show.)
-            default = Individual(self.space.encode(self.space.default_values()))
-            population = [default]
+            # HSTuner explores outward from the library defaults (or a
+            # user-supplied seed): the initial population is the seed
+            # configuration plus neighbour perturbations of it.
+            # (Uniform-random seeding would start the search deep inside
+            # the space and skip the climb the paper's tuning curves
+            # show.)
+            if self.seed_config is not None:
+                seed = Individual(self.seed_config.genome())
+            else:
+                seed = Individual(self.space.encode(self.space.default_values()))
+            population = [seed]
             while len(population) < n:
-                population.append(self._perturbed(default, rng))
+                population.append(self._perturbed(seed, rng))
             return population
 
         def mutate(ind: Individual, rng: np.random.Generator) -> Individual:
@@ -289,6 +364,8 @@ class HSTuner(Tuner):
         toolbox.register("mutate", mutate)
         if self.batch_evaluation:
             toolbox.register("evaluate_batch", evaluate_batch)
+        if self.constraints is not None:
+            toolbox.register("repair", repair_individual, registry=self.constraints)
 
         engine = EvolutionEngine(
             toolbox,
@@ -364,6 +441,7 @@ class HSTuner(Tuner):
                 # Replay just ran dry: the next generation goes live.
                 self._warm_cache_from_journal()
                 self._replay_warmed = True
+            resilience_before = self._resilience_counts()
             stats = engine.step()
             if self._replay_record is not None:
                 self._finish_replay(self._replay_record)
@@ -383,7 +461,9 @@ class HSTuner(Tuner):
                     self._generation_record(iteration, tuned_names, generation_evals)
                 )
 
-            if self.stopper.should_stop(result.history):
+            should_stop = self.stopper.should_stop(result.history)
+            self._warn_generation_events(iteration, resilience_before)
+            if should_stop:
                 result.stop_reason = "stopper"
                 result.stopped_at = iteration
                 break
@@ -707,4 +787,5 @@ class HSTuner(Tuner):
             quarantined=resilience.quarantined,
             fallbacks=resilience.fallbacks,
             faults_injected=injected,
+            guardrail_trips=self._guardrail_trip_count(),
         )

@@ -160,3 +160,96 @@ def test_resume_foreign_journal_maps_to_exit_3(tmp_path, capsys):
     bogus.write_text('{"type":"header","version":1}\n')
     assert main(["resume", str(bogus)]) == 3
     assert "not written by tunio-tune" in capsys.readouterr().err
+
+
+# -- guardrails / constraints --------------------------------------------------
+
+
+@pytest.mark.guardrails
+@pytest.mark.parametrize(
+    "flags",
+    [
+        ["--iterations", "0"],
+        ["--batch-workers", "-3"],
+        ["--batch-workers", "0"],
+        ["--max-retries", "-1"],
+        ["--fault-agent-at", "-2", "--fault-agent", "nan-weights"],
+        ["--fault-agent", "checkpoint-truncation"],  # needs --agents-cache
+    ],
+)
+def test_contradictory_flags_rejected_with_usage_error(flags):
+    with pytest.raises(SystemExit) as err:
+        main(["ior", *flags])
+    assert err.value.code == 2
+
+
+@pytest.mark.guardrails
+def test_resume_rejects_no_eval_cache(capsys):
+    """--no-eval-cache contradicts resume (replay re-warms the cache to
+    stay bit-identical), so it is refused up front."""
+    with pytest.raises(SystemExit) as err:
+        main(["resume", "whatever.journal", "--no-eval-cache"])
+    assert err.value.code == 2
+    assert "contradicts resume" in capsys.readouterr().err
+
+
+@pytest.mark.guardrails
+def test_unknown_agent_fault_mode_rejected():
+    with pytest.raises(SystemExit):
+        main(["ior", "--fault-agent", "gamma-rays"])
+
+
+@pytest.mark.guardrails
+def test_constraints_flag_arms_and_reports(capsys):
+    assert main([
+        "flash", "--tuner", "hstuner-heuristic", "--iterations", "2",
+        "--constraints",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "constraints:" in out
+    assert "rules armed" in out
+    assert "final:" in out
+
+
+@pytest.mark.guardrails
+def test_agent_fault_degrades_and_reports(tmp_path, capsys):
+    """End-to-end acceptance: with an agent fault injected, the run
+    completes, falls back to plain-GA tuning, and reports the trips on
+    a ``guardrails:`` line."""
+    cache = tmp_path / "agents.npz"
+    assert main([
+        "flash", "--iterations", "2", "--seed", "5",
+        "--agents-cache", str(cache),
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "flash", "--iterations", "4", "--seed", "5",
+        "--agents-cache", str(cache),
+        "--fault-agent", "nan-weights", "--fault-agent-at", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fault injection armed" in out and "agent=nan-weights@1" in out
+    assert "guardrails:" in out
+    assert "degraded to plain-GA behaviour" in out
+    assert "non-finite-weights" in out
+    assert "final:" in out
+
+
+@pytest.mark.guardrails
+def test_truncated_checkpoint_degrades_and_reports(tmp_path, capsys):
+    cache = tmp_path / "agents.npz"
+    assert main([
+        "flash", "--iterations", "2", "--seed", "5",
+        "--agents-cache", str(cache),
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "flash", "--iterations", "3", "--seed", "5",
+        "--agents-cache", str(cache),
+        "--fault-agent", "checkpoint-truncation",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "rejected" in captured.err or "checkpoint" in captured.err
+    assert "degraded" in captured.out
+    assert "guardrails:" in captured.out
+    assert "checkpoint:schema" in captured.out

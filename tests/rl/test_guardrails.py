@@ -1,0 +1,230 @@
+"""Guardrail primitives: weight scans, the loss-divergence monitor, trip
+bookkeeping/dedup, and checkpoint schema validation."""
+
+import numpy as np
+import pytest
+
+from repro.rl.guardrails import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    GuardrailMonitor,
+    LossDivergenceMonitor,
+    corrupt_network,
+    network_weight_issue,
+    validate_agent_checkpoint,
+)
+from repro.rl.nn import MLP
+
+pytestmark = pytest.mark.guardrails
+
+
+def make_net(seed: int = 0) -> MLP:
+    return MLP([4, 8, 2], rng=np.random.default_rng(seed))
+
+
+# ---------------------------------------------------------------------------
+# weight scans
+# ---------------------------------------------------------------------------
+
+
+def test_healthy_network_passes_the_scan():
+    assert network_weight_issue(make_net()) is None
+
+
+def test_scan_is_a_pure_read():
+    net = make_net()
+    before = [layer.weight.copy() for layer in net.layers]
+    network_weight_issue(net)
+    for layer, saved in zip(net.layers, before):
+        assert np.array_equal(layer.weight, saved)
+
+
+def test_nan_corruption_is_detected():
+    net = make_net()
+    corrupt_network(net, "nan-weights")
+    issue = network_weight_issue(net)
+    assert issue is not None and "non-finite" in issue
+
+
+def test_explosion_corruption_is_detected():
+    net = make_net()
+    corrupt_network(net, "explode-weights")
+    issue = network_weight_issue(net)
+    assert issue is not None and "exploded" in issue
+
+
+def test_single_poisoned_weight_is_enough():
+    net = make_net()
+    net.layers[1].weight[0, 0] = float("inf")
+    assert network_weight_issue(net) is not None
+
+
+def test_unknown_corruption_mode_rejected():
+    with pytest.raises(ValueError):
+        corrupt_network(make_net(), "melt")
+
+
+# ---------------------------------------------------------------------------
+# loss-divergence monitor
+# ---------------------------------------------------------------------------
+
+
+def test_monitor_accepts_a_healthy_stream():
+    monitor = LossDivergenceMonitor(divergence_factor=100.0, warmup=3)
+    for loss in [1.0, 0.8, 0.9, 0.7, 0.85, 0.6]:
+        assert monitor.observe(loss, grad_norm=1.0) is None
+
+
+def test_monitor_ignores_missing_telemetry():
+    monitor = LossDivergenceMonitor()
+    assert monitor.observe(None) is None
+
+
+def test_monitor_trips_on_divergence_after_warmup():
+    monitor = LossDivergenceMonitor(divergence_factor=100.0, warmup=3)
+    for loss in [1.0, 1.0, 1.0]:
+        assert monitor.observe(loss) is None
+    reason = monitor.observe(1e5)
+    assert reason is not None and "divergence" in reason
+
+
+def test_monitor_is_quiet_during_warmup():
+    """A wild early loss establishes the baseline instead of tripping."""
+    monitor = LossDivergenceMonitor(divergence_factor=100.0, warmup=5)
+    assert monitor.observe(1e6) is None
+
+
+def test_monitor_trips_on_non_finite_loss_immediately():
+    monitor = LossDivergenceMonitor()
+    reason = monitor.observe(float("nan"))
+    assert reason is not None and "non-finite" in reason
+
+
+def test_monitor_trips_on_gradient_explosion():
+    monitor = LossDivergenceMonitor(grad_limit=1e3)
+    reason = monitor.observe(1.0, grad_norm=1e9)
+    assert reason is not None and "gradient explosion" in reason
+
+
+def test_monitor_reset_restarts_warmup():
+    monitor = LossDivergenceMonitor(divergence_factor=10.0, warmup=1)
+    assert monitor.observe(1.0) is None
+    assert monitor.observe(1e4) is not None
+    monitor.reset()
+    assert monitor.observe(1e4) is None  # back in warmup
+
+
+def test_monitor_parameter_validation():
+    with pytest.raises(ValueError):
+        LossDivergenceMonitor(divergence_factor=1.0)
+    with pytest.raises(ValueError):
+        LossDivergenceMonitor(grad_limit=0)
+    with pytest.raises(ValueError):
+        LossDivergenceMonitor(warmup=0)
+
+
+# ---------------------------------------------------------------------------
+# trip bookkeeping
+# ---------------------------------------------------------------------------
+
+
+def test_monitor_records_every_trip():
+    monitor = GuardrailMonitor()
+    monitor.trip("subset-picker", "non-finite-weights", "layer 0", iteration=3)
+    monitor.trip("subset-picker", "non-finite-weights", "layer 0", iteration=4)
+    assert len(monitor.trips) == 2
+    assert monitor.tripped()
+    assert monitor.tripped("subset-picker")
+    assert not monitor.tripped("early-stopper")
+
+
+def test_warnings_are_deduplicated_per_guardrail_and_kind():
+    """A re-tripping guardrail (NaN nets are scanned every call) emits
+    exactly one warning line per distinct failure class."""
+    monitor = GuardrailMonitor()
+    for it in range(10):
+        monitor.trip("subset-picker", "non-finite-weights", "layer 0", iteration=it)
+    monitor.trip("early-stopper", "non-finite-weights", "layer 0", iteration=2)
+    warnings = monitor.drain_warnings()
+    assert len(warnings) == 2
+    assert monitor.drain_warnings() == []  # drained
+
+
+def test_trip_string_is_self_describing():
+    monitor = GuardrailMonitor()
+    trip = monitor.trip("early-stopper", "degenerate-policy", "stop at t=1", iteration=1)
+    assert str(trip) == "early-stopper:degenerate-policy at iteration 1 (stop at t=1)"
+
+
+def test_describe_counts_repeats():
+    monitor = GuardrailMonitor()
+    assert monitor.describe() == "clean"
+    monitor.trip("subset-picker", "invalid-output", "empty subset")
+    monitor.trip("subset-picker", "invalid-output", "empty subset")
+    assert "x2" in monitor.describe()
+
+
+def test_reset_rearms_dedup():
+    monitor = GuardrailMonitor()
+    monitor.trip("subset-picker", "invalid-output", "empty subset")
+    monitor.drain_warnings()
+    monitor.reset()
+    assert monitor.trips == ()
+    monitor.trip("subset-picker", "invalid-output", "empty subset")
+    assert len(monitor.drain_warnings()) == 1
+
+
+# ---------------------------------------------------------------------------
+# checkpoint validation
+# ---------------------------------------------------------------------------
+
+
+def valid_payload() -> dict:
+    return {
+        "checkpoint_version": np.array(CHECKPOINT_VERSION),
+        "impact_scores": np.array([0.5, 0.3, 0.2]),
+        "smart_w0": np.zeros((4, 4)),
+        "stop_w0": np.zeros((4, 4)),
+    }
+
+
+def test_valid_payload_passes():
+    validate_agent_checkpoint(valid_payload())
+
+
+def test_legacy_payload_without_version_passes():
+    payload = valid_payload()
+    del payload["checkpoint_version"]
+    validate_agent_checkpoint(payload)
+
+
+def test_future_version_rejected():
+    payload = valid_payload()
+    payload["checkpoint_version"] = np.array(CHECKPOINT_VERSION + 1)
+    with pytest.raises(CheckpointError, match="newer than this build"):
+        validate_agent_checkpoint(payload)
+
+
+@pytest.mark.parametrize("missing", ["impact_scores", "smart_w0", "stop_w0"])
+def test_missing_schema_keys_rejected(missing):
+    payload = valid_payload()
+    del payload[missing]
+    with pytest.raises(CheckpointError):
+        validate_agent_checkpoint(payload)
+
+
+def test_nan_poisoned_weights_rejected():
+    payload = valid_payload()
+    payload["smart_w0"][1, 1] = float("nan")
+    with pytest.raises(CheckpointError, match="non-finite"):
+        validate_agent_checkpoint(payload)
+
+
+def test_degenerate_impact_scores_rejected():
+    payload = valid_payload()
+    payload["impact_scores"] = np.zeros(3)
+    with pytest.raises(CheckpointError):
+        validate_agent_checkpoint(payload)
+    payload["impact_scores"] = np.array([0.5, -0.1, 0.6])
+    with pytest.raises(CheckpointError):
+        validate_agent_checkpoint(payload)
