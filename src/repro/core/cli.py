@@ -31,6 +31,7 @@ agent checkpoint.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -54,6 +55,18 @@ from repro.iostack.parameters import (
     default_constraints,
 )
 from repro.iostack.simulator import IOStackSimulator
+from repro.observability.metrics import (
+    MetricsRegistry,
+    fastpath_line,
+    guardrails_line,
+    resilience_line,
+    snapshot_degraded,
+)
+from repro.observability.profiling import Profiler
+from repro.observability.profiling import activate as activate_profiler
+from repro.observability.profiling import deactivate as deactivate_profiler
+from repro.observability.recorder import NULL_RECORDER, Recorder, TraceRecorder
+from repro.observability.report import baseline_line, final_line, iteration_line
 from repro.rl.guardrails import CheckpointError
 from repro.tuners.hstuner import HSTuner
 from repro.tuners.journal import JournalError, ReplayCursor, load_journal
@@ -183,6 +196,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="append each completed generation to a crash-safe journal; "
              "an interrupted run continues with `tunio-tune resume PATH`",
     )
+    obs = parser.add_argument_group(
+        "observability (pure observers; traced runs stay bit-identical)"
+    )
+    obs.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="stream schema-versioned JSONL run events to PATH; "
+             "reconstruct curves and summaries later with `tunio-report PATH`",
+    )
+    obs.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write the run's metrics-registry snapshot (counters, gauges, "
+             "timers) to PATH as JSON",
+    )
+    obs.add_argument(
+        "--profile", action="store_true",
+        help="time the pipeline's hot paths (stack traversal, NN "
+             "forward/backward, journal fsync) and print a span report",
+    )
     return parser
 
 
@@ -200,6 +231,19 @@ def build_resume_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-eval-cache", action="store_true",
         help=argparse.SUPPRESS,  # accepted only to reject it with a clear error
+    )
+    parser.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="trace the resumed run to PATH (replayed generations are "
+             "re-emitted, so the trace is complete on its own)",
+    )
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write the resumed run's metrics snapshot to PATH as JSON",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a profiling span report for the resumed run",
     )
     return parser
 
@@ -330,6 +374,12 @@ def _resume(argv: list[str]) -> int:
     if resume_args.iterations is not None:
         args.iterations = resume_args.iterations
     args.journal = resume_args.journal
+    # Observability is per-invocation, not part of the run's identity:
+    # the resume flags replace whatever the original run used (replayed
+    # generations are re-emitted, so a resume trace stands alone).
+    args.trace_out = resume_args.trace_out
+    args.metrics_out = resume_args.metrics_out
+    args.profile = resume_args.profile
     print(
         f"resuming {args.workload} from {resume_args.journal} "
         f"({len(journal.generations)} journaled generations)"
@@ -346,6 +396,37 @@ def _truncate_checkpoint(path: str) -> None:
 
 
 def _run(args: argparse.Namespace, replay: ReplayCursor | None) -> int:
+    """Set up the observability surfaces, then run the campaign.
+
+    The recorder and profiler are pure observers (no RNG, no clock), so
+    a traced or profiled run stays bit-identical to a bare one.
+    """
+    recorder = (
+        TraceRecorder(args.trace_out) if args.trace_out else NULL_RECORDER
+    )
+    profiler = Profiler() if args.profile else None
+    if profiler is not None:
+        activate_profiler(profiler)
+    try:
+        return _run_tuning(args, replay, recorder, profiler)
+    finally:
+        if profiler is not None:
+            deactivate_profiler()
+        recorder.close()
+
+
+def _run_tuning(
+    args: argparse.Namespace,
+    replay: ReplayCursor | None,
+    recorder: Recorder,
+    profiler: Profiler | None,
+) -> int:
+    if recorder.enabled:
+        recorder.emit(
+            "run_args",
+            args={k: v for k, v in sorted(vars(args).items())},
+            resumed=replay is not None,
+        )
     rng = np.random.default_rng(args.seed)
 
     workload = _WORKLOADS[args.workload]()
@@ -416,6 +497,19 @@ def _run(args: argparse.Namespace, replay: ReplayCursor | None) -> int:
                 agents = load_agents(args.agents_cache, normalizer, rng=rng)
             except CheckpointError as exc:
                 checkpoint_trip = f"checkpoint:schema ({exc})"
+                if recorder.enabled:
+                    # The tuner never sees this trip (it happens before
+                    # one exists), so the CLI records it itself;
+                    # tunio-report prepends source=="cli" trips to the
+                    # run_end list when reconstructing.
+                    recorder.emit(
+                        "guardrail_trip",
+                        source="cli",
+                        guardrail="checkpoint",
+                        kind="schema",
+                        detail=str(exc),
+                        trip=checkpoint_trip,
+                    )
                 print(f"guardrails: agent checkpoint rejected: {exc}",
                       file=sys.stderr)
                 print(
@@ -437,6 +531,7 @@ def _run(args: argparse.Namespace, replay: ReplayCursor | None) -> int:
                 expected_runs=args.expected_runs, rng=rng,
                 cache=eval_cache, batch_workers=args.batch_workers,
                 retry_policy=policy, constraints=constraints,
+                recorder=recorder,
             )
         else:
             # Degraded mode: the checkpoint was rejected; tune with the
@@ -446,18 +541,21 @@ def _run(args: argparse.Namespace, replay: ReplayCursor | None) -> int:
                 simulator, stopper=HeuristicStopper(), rng=rng,
                 cache=eval_cache, batch_workers=args.batch_workers,
                 retry_policy=policy, constraints=constraints,
+                recorder=recorder,
             )
     elif args.tuner == "hstuner":
         tuner = HSTuner(
             simulator, stopper=NoStop(), rng=rng,
             cache=eval_cache, batch_workers=args.batch_workers,
             retry_policy=policy, constraints=constraints,
+            recorder=recorder,
         )
     else:
         tuner = HSTuner(
             simulator, stopper=HeuristicStopper(), rng=rng,
             cache=eval_cache, batch_workers=args.batch_workers,
             retry_policy=policy, constraints=constraints,
+            recorder=recorder,
         )
 
     # Faults attach after offline training: the plan injects into the
@@ -489,34 +587,37 @@ def _run(args: argparse.Namespace, replay: ReplayCursor | None) -> int:
     finally:
         session.close()
 
-    print(f"\nbaseline: {result.baseline_perf:10.1f} MB/s")
+    # Summary lines render through the shared formatters so tunio-tune
+    # and tunio-report (which rebuilds them from the trace) cannot drift.
+    print("\n" + baseline_line(result))
     for rec in result.history:
-        marker = "  <- stopped" if result.stopped_at == rec.iteration else ""
-        print(
-            f"iter {rec.iteration:3d}  best {rec.best_perf:10.1f} MB/s  "
-            f"t={rec.elapsed_minutes:8.1f} min  subset={len(rec.tuned_parameters):2d}{marker}"
-        )
-    print(
-        f"\nfinal: {result.best_perf:.1f} MB/s "
-        f"({result.best_perf / max(result.baseline_perf, 1e-9):.2f}x) "
-        f"in {result.total_minutes:.1f} simulated minutes "
-        f"({result.total_evaluations} evaluations, {result.stop_reason})"
-    )
+        print(iteration_line(rec, result.stopped_at))
+    print("\n" + final_line(result))
     if checkpoint_trip is not None:
         result.guardrail_trips = (checkpoint_trip,) + result.guardrail_trips
+    registry = MetricsRegistry.from_run(
+        result,
+        cache_stats=eval_cache.stats() if eval_cache is not None else None,
+        profiler=profiler,
+    )
+    snapshot = registry.snapshot()
     if result.eval_stats is not None:
-        print(f"fastpath: {result.eval_stats.describe()}")
-        if result.eval_stats.degraded:
-            print(f"resilience: {result.eval_stats.describe_resilience()}")
+        print(f"fastpath: {fastpath_line(snapshot)}")
+        if snapshot_degraded(snapshot):
+            print(f"resilience: {resilience_line(snapshot)}")
     if result.guardrail_trips:
-        shown = list(dict.fromkeys(result.guardrail_trips))
-        print(
-            f"guardrails: {len(result.guardrail_trips)} trip(s), "
-            f"degraded to plain-GA behaviour: " + "; ".join(shown)
-        )
+        print(f"guardrails: {guardrails_line(result.guardrail_trips)}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"metrics written to {args.metrics_out}")
     if result.best_config is not None:
         print("\nH5Tuner override file:")
         print(to_xml(result.best_config))
+    if profiler is not None:
+        print()
+        print(profiler.report())
     return 0
 
 

@@ -74,6 +74,7 @@ class TunIOTuner(HSTuner):
                 stopper, self.guardrails, fault_source=fault_source
             )
         super().__init__(simulator, space=space, stopper=stopper, **kwargs)
+        self.guardrails.recorder = self.recorder
         self.smart_config = smart_config
         self._current_subset: tuple[str, ...] | None = None
         self._last_best_norm: float | None = None
@@ -97,6 +98,15 @@ class TunIOTuner(HSTuner):
             iteration=iteration,
         )
         self._current_subset = subset
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.emit(
+                "agent_decision",
+                agent="subset-picker",
+                iteration=iteration,
+                subset=None if subset is None else list(subset),
+                degraded=self.guardrails.tripped("subset-picker"),
+            )
         return subset
 
     def _observe_iteration(self, record: IterationRecord) -> None:

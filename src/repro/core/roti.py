@@ -40,6 +40,13 @@ class RoTICurve:
             raise ValueError("minutes and values must be matching 1-D arrays")
         if self.minutes.size == 0:
             raise ValueError("empty curve")
+        if np.any(np.diff(self.minutes) < 0):
+            raise ValueError("minutes must be non-decreasing")
+        if not np.all(np.isfinite(self.values)):
+            raise ValueError(
+                "RoTI values must be finite; a NaN/inf curve means the "
+                "baseline perf or an iteration perf was corrupt"
+            )
 
     @property
     def peak(self) -> float:
@@ -57,7 +64,14 @@ class RoTICurve:
         return float(self.values[-1])
 
     def at_minutes(self, minutes: float) -> float:
-        """RoTI at (or just before) a given tuning time."""
+        """RoTI at (or just before) a given tuning time.
+
+        Duplicate time points are legal (a retry- or straggler-charged
+        iteration can end at the same ``elapsed_minutes`` as its
+        predecessor); querying a tied timestamp returns the *last*
+        record at it -- ``side="right"`` places the insertion point past
+        every tie, so the ``- 1`` lands on the final one.
+        """
         idx = int(np.searchsorted(self.minutes, minutes, side="right")) - 1
         if idx < 0:
             raise ValueError(f"no RoTI data at or before {minutes} minutes")
@@ -65,7 +79,18 @@ class RoTICurve:
 
 
 def roti_curve(result: TuningResult) -> RoTICurve:
-    """RoTI per iteration of a tuning run (skipping zero-time points)."""
+    """RoTI per iteration of a tuning run (skipping zero-time points).
+
+    Fails fast when ``baseline_perf`` is NaN or otherwise non-finite:
+    silently propagating it would produce an all-NaN curve whose
+    ``peak``/``peak_minutes`` are garbage (``argmax`` of NaNs).
+    """
+    if not np.isfinite(result.baseline_perf):
+        raise ValueError(
+            f"baseline_perf is {result.baseline_perf!r}; the RoTI curve "
+            f"needs a finite baseline measurement (was the run "
+            f"reconstructed from an incomplete trace?)"
+        )
     minutes = result.minutes_series()
     perfs = result.perf_series()
     mask = minutes > 0

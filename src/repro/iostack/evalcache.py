@@ -148,9 +148,17 @@ class EvaluationStats:
     #: training divergence, degenerate policies); details live on
     #: :attr:`~repro.tuners.base.TuningResult.guardrail_trips`.
     guardrail_trips: int = 0
+    #: Journal-resume cache warming, accounted separately from the run's
+    #: own lookups so :attr:`cache_hit_rate` matches the uninterrupted
+    #: run (warming the cache is bookkeeping, not tuning behaviour).
+    prewarm_lookups: int = 0
+    prewarm_hits: int = 0
+    prewarm_builds: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
+        """Hit rate of the run's own lookups; cache pre-warming on
+        journal resume is excluded (see the ``prewarm_*`` fields)."""
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
@@ -188,6 +196,11 @@ class EvaluationStats:
             f"{self.quarantined} quarantined, {self.fallbacks} serial fallbacks"
         )
 
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dict (trace ``run_end`` events and the
+        ``--metrics-out`` snapshot)."""
+        return dataclasses.asdict(self)
+
 
 # -- the cache ---------------------------------------------------------------------
 
@@ -211,6 +224,11 @@ class EvaluationCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Optional trace recorder (duck-typed; see
+        #: :mod:`repro.observability.recorder`).  None by default so the
+        #: cache has no observability import and untraced runs pay one
+        #: attribute read per lookup.
+        self.recorder = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -249,11 +267,16 @@ class EvaluationCache:
         refreshes LRU recency on hits."""
         key = self.key_for(platform, workload, config)
         trace = self._entries.get(key)
+        recorder = self.recorder
         if trace is None:
             self.misses += 1
+            if recorder is not None and recorder.enabled:
+                recorder.emit("cache", op="miss")
             return None
         self.hits += 1
         self._entries.move_to_end(key)
+        if recorder is not None and recorder.enabled:
+            recorder.emit("cache", op="hit")
         return trace
 
     def store(
@@ -268,9 +291,14 @@ class EvaluationCache:
         key = self.key_for(platform, workload, config)
         self._entries[key] = trace
         self._entries.move_to_end(key)
+        recorder = self.recorder
+        if recorder is not None and recorder.enabled:
+            recorder.emit("cache", op="store")
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
+            if recorder is not None and recorder.enabled:
+                recorder.emit("cache", op="evict")
 
     def get_trace(
         self,

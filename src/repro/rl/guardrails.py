@@ -104,6 +104,10 @@ class GuardrailMonitor:
         self._trips: list[GuardrailTrip] = []
         self._seen: set[tuple[str, str]] = set()
         self._pending: list[str] = []
+        #: Optional trace recorder (duck-typed; see
+        #: :mod:`repro.observability.recorder`).  None by default so the
+        #: monitor needs no observability import.
+        self.recorder = None
 
     def trip(
         self,
@@ -120,6 +124,15 @@ class GuardrailMonitor:
         if key not in self._seen:
             self._seen.add(key)
             self._pending.append(f"guardrail tripped: {trip}")
+        recorder = self.recorder
+        if recorder is not None and recorder.enabled:
+            recorder.emit(
+                "guardrail_trip",
+                guardrail=guardrail,
+                kind=kind,
+                detail=detail,
+                iteration=iteration,
+            )
         return trip
 
     @property

@@ -15,6 +15,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.observability.profiling import maybe_span
+
 __all__ = ["Dense", "MLP", "Adam", "ACTIVATIONS"]
 
 
@@ -191,13 +193,14 @@ class MLP:
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Batch forward pass; accepts (n, in) or (in,) and preserves the
         input's batch shape on output."""
-        x = np.asarray(x, dtype=np.float64)
-        single = x.ndim == 1
-        if single:
-            x = x[None, :]
-        for layer in self.layers:
-            x = layer.forward(x)
-        return x[0] if single else x
+        with maybe_span("nn.forward"):
+            x = np.asarray(x, dtype=np.float64)
+            single = x.ndim == 1
+            if single:
+                x = x[None, :]
+            for layer in self.layers:
+                x = layer.forward(x)
+            return x[0] if single else x
 
     __call__ = forward
 
@@ -211,9 +214,10 @@ class MLP:
         """
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         y = np.atleast_2d(np.asarray(y, dtype=np.float64))
-        pred = x
-        for layer in self.layers:
-            pred = layer.forward(pred)
+        with maybe_span("nn.forward"):
+            pred = x
+            for layer in self.layers:
+                pred = layer.forward(pred)
         if pred.shape != y.shape:
             raise ValueError(f"target shape {y.shape} != prediction shape {pred.shape}")
         mask = ~np.isnan(y)
@@ -221,13 +225,14 @@ class MLP:
         diff = np.where(mask, pred - y, 0.0)
         loss = float((diff**2).sum() / n)
         grad = 2.0 * diff / n
-        grads: list[np.ndarray] = []
-        for layer in reversed(self.layers):
-            grad, dw, db = layer.backward(grad)
-            grads.append(db)
-            grads.append(dw)
-        grads.reverse()
-        self.optimizer.step(grads)
+        with maybe_span("nn.backward"):
+            grads: list[np.ndarray] = []
+            for layer in reversed(self.layers):
+                grad, dw, db = layer.backward(grad)
+                grads.append(db)
+                grads.append(dw)
+            grads.reverse()
+            self.optimizer.step(grads)
         self.last_loss = loss
         self.last_grad_norm = float(
             np.sqrt(sum(float((g * g).sum()) for g in grads))

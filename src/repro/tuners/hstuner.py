@@ -51,7 +51,7 @@ from __future__ import annotations
 
 import warnings
 from concurrent.futures import ThreadPoolExecutor
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -70,6 +70,7 @@ from repro.iostack.evalcache import EvaluationCache, EvaluationStats
 from repro.iostack.faults import EvaluationError
 from repro.iostack.parameters import TUNED_SPACE, ConstraintRegistry, ParameterSpace
 from repro.iostack.simulator import IOStackSimulator, StackTrace, WorkloadLike
+from repro.observability.recorder import NULL_RECORDER, Recorder
 
 from .base import IterationRecord, Tuner, TuningResult
 from .journal import (
@@ -147,6 +148,15 @@ class HSTuner(Tuner):
         Optional starting configuration for the GA (defaults to the
         library defaults).  Must belong to ``space``; validated against
         ``constraints`` when both are given.
+    recorder:
+        Optional :class:`~repro.observability.recorder.Recorder`; a
+        :class:`~repro.observability.recorder.TraceRecorder` streams the
+        run's events (baseline, evaluations, generations, agent
+        decisions, cache/retry activity, run end) to a JSONL trace.  The
+        default :data:`~repro.observability.recorder.NULL_RECORDER`
+        drops everything; either way the recorder is a pure observer --
+        it never draws RNG or touches the simulated clock, so traced
+        runs are bit-identical to untraced ones.
     """
 
     name = "hstuner"
@@ -168,6 +178,7 @@ class HSTuner(Tuner):
         retry_policy: RetryPolicy | None = None,
         constraints: ConstraintRegistry | None = None,
         seed_config: StackConfiguration | None = None,
+        recorder: Recorder | None = None,
     ):
         if batch_workers is not None and batch_workers < 1:
             raise ValueError("batch_workers must be >= 1 (or None for serial)")
@@ -195,14 +206,20 @@ class HSTuner(Tuner):
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.constraints = constraints
         self.seed_config = seed_config
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.clock = SimulatedClock()
         self._active_subset_size: int | None = None
         self._n_evaluations = 0
         self._stats_base: tuple[int, int, int, int, int] = (0, 0, 0, 0, 0)
         self._faults_base = 0
+        self._prewarm: tuple[int, int, int] = (0, 0, 0)
+        #: Iteration the trace's evaluation events belong to (None before
+        #: the first generation, i.e. during the baseline).
+        self._trace_iteration: int | None = None
         self._resilient = ResilientEvaluator(
             self.simulator, self.clock, cache=self.cache, policy=self.retry_policy
         )
+        self._resilient.recorder = self.recorder
         # Journal hooks (attach_journal); None = no journaling/replay.
         self._journal_writer: JournalWriter | None = None
         self._replay_cursor: ReplayCursor | None = None
@@ -289,12 +306,27 @@ class HSTuner(Tuner):
         self._resilient = ResilientEvaluator(
             self.simulator, self.clock, cache=self.cache, policy=self.retry_policy
         )
+        recorder = self.recorder
+        recorder.bind_clock(self.clock)
+        self._resilient.recorder = recorder
+        if self.cache is not None:
+            self.cache.recorder = recorder
         if self.simulator.faults is not None:
             # Rewind the fault schedule and tie its degraded windows to
             # this run's clock, so repeated tunes replay the same plan.
             self.simulator.faults.reset()
             self.simulator.faults.attach_clock(self.clock)
         self._begin_stats_window()
+        if recorder.enabled:
+            recorder.emit(
+                "run_start",
+                tuner=self.name,
+                workload=workload.name,
+                max_iterations=max_iterations,
+                population_size=self.population_size,
+                repeats=self.repeats,
+                resumed=self._replay_cursor is not None,
+            )
 
         result = TuningResult(tuner_name=self.name, workload_name=workload.name)
         result.baseline_perf = self._baseline_perf(workload)
@@ -310,6 +342,14 @@ class HSTuner(Tuner):
                 config = StackConfiguration.from_genome(self.space, ind.genome)
                 perf = self._evaluate_config(workload, config, charge=True)
             generation_evals.append(perf)
+            if recorder.enabled:
+                recorder.emit(
+                    "evaluation",
+                    iteration=self._trace_iteration,
+                    genome=[int(i) for i in ind.genome],
+                    perf=perf,
+                    replayed=record is not None,
+                )
             return perf
 
         def evaluate_batch(individuals: Sequence[Individual]) -> list[float]:
@@ -322,6 +362,15 @@ class HSTuner(Tuner):
             else:
                 perfs = self._evaluate_generation(workload, individuals)
             generation_evals.extend(perfs)
+            if recorder.enabled:
+                for ind, perf in zip(individuals, perfs):
+                    recorder.emit(
+                        "evaluation",
+                        iteration=self._trace_iteration,
+                        genome=[int(i) for i in ind.genome],
+                        perf=perf,
+                        replayed=record is not None,
+                    )
             return perfs
 
         def generate(n: int, rng: np.random.Generator) -> list[Individual]:
@@ -413,8 +462,10 @@ class HSTuner(Tuner):
     def _run_iterations(self, n_iterations: int) -> None:
         engine, result = self._engine, self._result
         generation_evals = self._generation_evals
+        recorder = self.recorder
         start = len(result.history)
         for iteration in range(start, start + n_iterations):
+            self._trace_iteration = iteration
             subset = self._select_subset(iteration, result.history)
             tuned_names: tuple[str, ...]
             if subset is None:
@@ -443,6 +494,7 @@ class HSTuner(Tuner):
                 self._replay_warmed = True
             resilience_before = self._resilience_counts()
             stats = engine.step()
+            replayed = self._replay_record is not None
             if self._replay_record is not None:
                 self._finish_replay(self._replay_record)
                 self._replay_record = None
@@ -455,6 +507,17 @@ class HSTuner(Tuner):
                 tuned_parameters=tuned_names,
             )
             result.history.append(record)
+            if recorder.enabled:
+                recorder.emit(
+                    "generation",
+                    iteration=iteration,
+                    iteration_perf=record.iteration_perf,
+                    best_perf=record.best_perf,
+                    elapsed_minutes=record.elapsed_minutes,
+                    evaluations=record.evaluations,
+                    subset=list(tuned_names),
+                    replayed=replayed,
+                )
             self._observe_iteration(record)
             if self._journal_writer is not None:
                 self._journal_writer.write_generation(
@@ -462,6 +525,13 @@ class HSTuner(Tuner):
                 )
 
             should_stop = self.stopper.should_stop(result.history)
+            if recorder.enabled:
+                recorder.emit(
+                    "agent_decision",
+                    agent="stopper",
+                    iteration=iteration,
+                    stop=bool(should_stop),
+                )
             self._warn_generation_events(iteration, resilience_before)
             if should_stop:
                 result.stop_reason = "stopper"
@@ -470,12 +540,26 @@ class HSTuner(Tuner):
         else:
             result.stop_reason = "budget"
 
+        self._trace_iteration = None
         result.best_config = StackConfiguration.from_genome(
             self.space, engine.best.genome
         )
         result.eval_stats = self._collect_stats()
         if self._journal_writer is not None:
             self._journal_writer.write_final(result.stop_reason, result.stopped_at)
+        if recorder.enabled:
+            recorder.emit(
+                "run_end",
+                stop_reason=result.stop_reason,
+                stopped_at=result.stopped_at,
+                best_perf=result.best_perf,
+                baseline_perf=result.baseline_perf,
+                total_minutes=result.total_minutes,
+                total_evaluations=result.total_evaluations,
+                best_genome=[int(i) for i in engine.best.genome],
+                eval_stats=result.eval_stats.as_dict(),
+                guardrail_trips=list(result.guardrail_trips),
+            )
 
     # -- journal record/replay ---------------------------------------------------
 
@@ -488,10 +572,13 @@ class HSTuner(Tuner):
             if self.simulator.faults is not None and record.fault_state is not None:
                 self.simulator.faults.set_state(record.fault_state)
             self._n_evaluations = record.n_evaluations
+            self._restore_fastpath_window(record.fastpath)
         else:
             perf = self._evaluate_config(
                 workload, StackConfiguration.default(self.space), charge=False
             )
+        if self.recorder.enabled:
+            self.recorder.emit("baseline", perf=perf, replayed=record is not None)
         if self._journal_writer is not None:
             self._journal_writer.write_baseline(
                 BaselineRecord(
@@ -503,6 +590,7 @@ class HSTuner(Tuner):
                         if self.simulator.faults is not None
                         else None
                     ),
+                    fastpath=self._fastpath_window(),
                 )
             )
         return perf
@@ -534,6 +622,7 @@ class HSTuner(Tuner):
             self.simulator.faults.set_state(record.fault_state)
         self._resilient.restore_quarantine(record.quarantine)
         self._resilient.stats.restore(record.resilience)
+        self._restore_fastpath_window(record.fastpath)
         verify_rng(record, self.rng)
 
     def _generation_record(
@@ -565,6 +654,7 @@ class HSTuner(Tuner):
             quarantine=self._resilient.quarantine_state(),
             resilience=self._resilient.stats.as_dict(),
             agent_state=self._journal_agent_state(),
+            fastpath=self._fastpath_window(),
         )
 
     def _journal_agent_state(self) -> dict | None:
@@ -586,9 +676,16 @@ class HSTuner(Tuner):
         are skipped: nothing ever looks their traces up.  Only LRU
         recency can differ from the uninterrupted run, which matters
         only past ``maxsize`` distinct configurations.
+
+        Warming is bookkeeping, not tuning: its lookups and trace builds
+        are recorded in the ``prewarm_*`` fields of
+        :class:`EvaluationStats` and excluded from the run's own cache
+        counters, so a resumed run reports the same ``cache_hit_rate``
+        as the uninterrupted one.
         """
         if self.cache is None or self._replay_cursor is None:
             return
+        cache = self.cache
         genomes: dict[tuple[int, ...], None] = {}
         for record in self._replay_cursor.journal.generations:
             for genome in record.dispatched:
@@ -596,21 +693,48 @@ class HSTuner(Tuner):
         configs = [StackConfiguration.default(self.space)] + [
             StackConfiguration.from_genome(self.space, genome) for genome in genomes
         ]
+        hits0, misses0 = cache.hits, cache.misses
+        evictions0, built0 = cache.evictions, self.simulator.traces_built
         faults, self.simulator.faults = self.simulator.faults, None
+        # Warming lookups are not run cache activity: mute the cache's
+        # per-op trace events for the duration (one summary event below).
+        cache_recorder, cache.recorder = cache.recorder, None
         try:
             for config in configs:
                 if self._resilient.is_quarantined(config):
                     continue
-                cached = self.cache.lookup(
+                cached = cache.lookup(
                     self.simulator.platform, self._workload, config
                 )
                 if cached is None:
                     trace = self.simulator.trace(self._workload, config)
-                    self.cache.store(
+                    cache.store(
                         self.simulator.platform, self._workload, config, trace
                     )
         finally:
             self.simulator.faults = faults
+            cache.recorder = cache_recorder
+        d_hits = cache.hits - hits0
+        d_misses = cache.misses - misses0
+        d_evictions = cache.evictions - evictions0
+        d_built = self.simulator.traces_built - built0
+        self._prewarm = (d_hits + d_misses, d_hits, d_built)
+        # Exclude the warming deltas from the run's stats window.
+        built_b, replays_b, hits_b, misses_b, evict_b = self._stats_base
+        self._stats_base = (
+            built_b + d_built,
+            replays_b,
+            hits_b + d_hits,
+            misses_b + d_misses,
+            evict_b + d_evictions,
+        )
+        if self.recorder.enabled:
+            self.recorder.emit(
+                "cache_prewarm",
+                lookups=d_hits + d_misses,
+                hits=d_hits,
+                builds=d_built,
+            )
 
     # -- evaluation ---------------------------------------------------------------
 
@@ -748,6 +872,7 @@ class HSTuner(Tuner):
 
     def _begin_stats_window(self) -> None:
         self._n_evaluations = 0
+        self._prewarm = (0, 0, 0)
         cache = self.cache
         faults = self.simulator.faults
         self._stats_base = (
@@ -763,6 +888,38 @@ class HSTuner(Tuner):
             else 0
         )
 
+    def _fastpath_window(self) -> dict[str, int]:
+        """The run-relative fastpath counters (current minus the window
+        base), journaled at every record boundary so resume can restore
+        them."""
+        built0, replays0, hits0, misses0, evict0 = self._stats_base
+        cache = self.cache
+        return {
+            "traces_built": self.simulator.traces_built - built0,
+            "trace_replays": self.simulator.trace_replays - replays0,
+            "cache_hits": (cache.hits - hits0) if cache else 0,
+            "cache_misses": (cache.misses - misses0) if cache else 0,
+            "cache_evictions": (cache.evictions - evict0) if cache else 0,
+        }
+
+    def _restore_fastpath_window(self, window: Mapping[str, int]) -> None:
+        """Re-base the stats window so the run-relative counters equal a
+        journaled record's ``fastpath`` dict.  Replayed generations skip
+        the simulator entirely, so without this a resumed run would
+        report zeros for everything the journaled generations did --
+        including a deflated ``cache_hit_rate``.  Empty dicts (journals
+        from older builds) are left alone: replay behaves as before."""
+        if not window:
+            return
+        cache = self.cache
+        self._stats_base = (
+            self.simulator.traces_built - int(window.get("traces_built", 0)),
+            self.simulator.trace_replays - int(window.get("trace_replays", 0)),
+            (cache.hits if cache else 0) - int(window.get("cache_hits", 0)),
+            (cache.misses if cache else 0) - int(window.get("cache_misses", 0)),
+            (cache.evictions if cache else 0) - int(window.get("cache_evictions", 0)),
+        )
+
     def _collect_stats(self) -> EvaluationStats:
         built0, replays0, hits0, misses0, evict0 = self._stats_base
         cache = self.cache
@@ -775,6 +932,7 @@ class HSTuner(Tuner):
             else 0
         )
         resilience = self._resilient.stats
+        prewarm_lookups, prewarm_hits, prewarm_builds = self._prewarm
         return EvaluationStats(
             evaluations=self._n_evaluations,
             cache_hits=(cache.hits - hits0) if cache else 0,
@@ -788,4 +946,7 @@ class HSTuner(Tuner):
             fallbacks=resilience.fallbacks,
             faults_injected=injected,
             guardrail_trips=self._guardrail_trip_count(),
+            prewarm_lookups=prewarm_lookups,
+            prewarm_hits=prewarm_hits,
+            prewarm_builds=prewarm_builds,
         )

@@ -44,6 +44,8 @@ from typing import Any, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.observability.profiling import maybe_span
+
 __all__ = [
     "JournalError",
     "BaselineRecord",
@@ -80,6 +82,12 @@ class BaselineRecord:
     noise_position: int
     n_evaluations: int
     fault_state: dict[str, Any] | None = None
+    #: Run-relative fastpath counters (cache hits/misses/evictions,
+    #: traces built/replayed) at this record's boundary.  Restored on
+    #: replay so a resumed run's :class:`EvaluationStats` match the
+    #: uninterrupted run's; empty in journals from older builds (replay
+    #: then skips the restore, as before).
+    fastpath: dict[str, int] = field(default_factory=dict)
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -88,6 +96,7 @@ class BaselineRecord:
             "noise_position": self.noise_position,
             "n_evaluations": self.n_evaluations,
             "fault_state": self.fault_state,
+            "fastpath": self.fastpath,
         }
 
     @classmethod
@@ -97,6 +106,7 @@ class BaselineRecord:
             noise_position=int(obj["noise_position"]),
             n_evaluations=int(obj["n_evaluations"]),
             fault_state=obj.get("fault_state"),
+            fastpath=dict(obj.get("fastpath", {})),
         )
 
 
@@ -124,6 +134,9 @@ class GenerationRecord:
     quarantine: dict[str, str] = field(default_factory=dict)
     resilience: dict[str, int] = field(default_factory=dict)
     agent_state: dict[str, Any] | None = None
+    #: Run-relative fastpath counters at this generation's boundary
+    #: (see :attr:`BaselineRecord.fastpath`).
+    fastpath: dict[str, int] = field(default_factory=dict)
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -142,6 +155,7 @@ class GenerationRecord:
             "quarantine": self.quarantine,
             "resilience": self.resilience,
             "agent_state": self.agent_state,
+            "fastpath": self.fastpath,
         }
 
     @classmethod
@@ -163,6 +177,7 @@ class GenerationRecord:
             quarantine=dict(obj.get("quarantine", {})),
             resilience=dict(obj.get("resilience", {})),
             agent_state=obj.get("agent_state"),
+            fastpath=dict(obj.get("fastpath", {})),
         )
 
 
@@ -292,9 +307,10 @@ class JournalWriter:
             self._fh = open(path, "a", encoding="utf-8")
 
     def _append(self, obj: Mapping[str, Any]) -> None:
-        self._fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        with maybe_span("journal.fsync"):
+            self._fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
 
     def write_baseline(self, record: BaselineRecord) -> None:
         if self._baseline_recorded:

@@ -149,6 +149,16 @@ class ResilientEvaluator:
         self.stats = ResilienceStats()
         #: config digest -> repr, for reporting and journal round-trips.
         self.quarantine: dict[str, str] = {}
+        #: Optional trace recorder (duck-typed; see
+        #: :mod:`repro.observability.recorder`).  None by default so the
+        #: harness needs no observability import.
+        self.recorder = None
+
+    def _emit_retry(self, kind: str, config: StackConfiguration, **fields) -> None:
+        """Emit one ``retry``-family trace event (no-op untraced)."""
+        recorder = self.recorder
+        if recorder is not None and recorder.enabled:
+            recorder.emit("retry", kind=kind, config=config_digest(config), **fields)
 
     # -- quarantine -------------------------------------------------------------
 
@@ -158,6 +168,7 @@ class ResilientEvaluator:
     def _quarantine(self, config: StackConfiguration, cause: Exception) -> None:
         self.quarantine[config_digest(config)] = repr(config)
         self.stats.quarantined += 1
+        self._emit_retry("quarantine", config, detail=str(cause))
 
     def quarantine_state(self) -> dict[str, str]:
         return dict(self.quarantine)
@@ -219,6 +230,7 @@ class ResilientEvaluator:
                 if attempt < self.policy.max_retries:
                     self.stats.retries += 1
                     self._charge_failed_attempt(attempt, charge)
+                    self._emit_retry("retry", config, attempt=attempt, detail=str(exc))
                 continue
             except Exception as exc:
                 raise HarnessError(
@@ -272,6 +284,7 @@ class ResilientEvaluator:
             except EvaluationTimeout as exc:
                 self.stats.timeouts += 1
                 self._charge_timeout(charge)
+                self._emit_retry("timeout", config, attempt=attempt, detail=str(exc))
                 last: EvaluationError = exc
             except EvaluationError as exc:
                 self._charge_failed_attempt(attempt, charge)
@@ -282,6 +295,7 @@ class ResilientEvaluator:
                 return evaluation.perf_mbps
             if attempt < self.policy.max_retries:
                 self.stats.retries += 1
+                self._emit_retry("retry", config, attempt=attempt, detail=str(last))
                 attempt_factors = self.simulator.noise.sample_factors(repeats)
         self._quarantine(config, last)
         self.charge_quarantined(charge)

@@ -147,6 +147,92 @@ def test_resume_of_completed_journal_is_refused(tmp_path, capsys):
     assert "nothing to resume" in capsys.readouterr().err
 
 
+# -- observability flags -------------------------------------------------------
+
+
+@pytest.mark.observability
+def test_trace_and_metrics_flags_write_files(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    metrics = tmp_path / "metrics.json"
+    assert main([
+        "ior", "--tuner", "hstuner", "--iterations", "3", "--seed", "3",
+        "--trace-out", str(trace), "--metrics-out", str(metrics), "--profile",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fastpath:" in out
+    assert "profile:" in out and "simulator.trace" in out
+    assert f"metrics written to {metrics}" in out
+
+    events = [json.loads(line) for line in open(trace)]
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "run_args" and kinds[-1] == "run_end"
+    assert "generation" in kinds
+    assert events[0]["args"]["seed"] == 3 and events[0]["resumed"] is False
+
+    snapshot = json.load(open(metrics))
+    assert snapshot["counters"]["run.iterations"] == 3
+    assert "cache.hit_rate" in snapshot["gauges"]
+    assert any(k.startswith("profile.") for k in snapshot["timers"])
+
+
+@pytest.mark.observability
+def test_traced_run_is_bit_identical_to_untraced(tmp_path, capsys):
+    argv = ["ior", "--tuner", "hstuner", "--iterations", "3", "--seed", "3"]
+    assert main(argv) == 0
+    bare = capsys.readouterr().out
+    assert main([*argv, "--trace-out", str(tmp_path / "run.jsonl")]) == 0
+    traced = capsys.readouterr().out
+    assert traced == bare  # tracing changes nothing the user sees
+
+
+@pytest.mark.observability
+def test_report_reconstructs_the_run_from_the_trace(tmp_path, capsys):
+    from repro.observability.report import main as report_main
+
+    trace = tmp_path / "run.jsonl"
+    assert main([
+        "ior", "--tuner", "hstuner", "--iterations", "3", "--seed", "3",
+        "--trace-out", str(trace),
+    ]) == 0
+    live = capsys.readouterr().out
+    assert report_main([str(trace)]) == 0
+    report = capsys.readouterr().out
+
+    def summary(text):
+        return [l for l in text.splitlines()
+                if l.startswith(("baseline", "iter", "final", "fastpath"))]
+
+    assert summary(report) == summary(live)
+    assert "roti: peak" in report
+
+
+@pytest.mark.observability
+def test_resume_traces_the_whole_run(tmp_path, capsys):
+    """A resume trace re-emits replayed generations, so tunio-report on
+    it sees the complete run."""
+    from repro.observability.report import main as report_main
+
+    journal = tmp_path / "t.journal"
+    assert main([
+        "ior", "--tuner", "hstuner", "--iterations", "4", "--seed", "3",
+        "--journal", str(journal),
+    ]) == 0
+    capsys.readouterr()
+    lines = open(journal).readlines()
+    cut = tmp_path / "cut.journal"
+    cut.write_text("".join(lines[:4]))  # header + baseline + 2 generations
+
+    trace = tmp_path / "resumed.jsonl"
+    assert main(["resume", str(cut), "--trace-out", str(trace)]) == 0
+    resumed_out = capsys.readouterr().out
+    assert report_main([str(trace)]) == 0
+    report = capsys.readouterr().out
+    assert "4 iterations" in report
+    for line in resumed_out.splitlines():
+        if line.startswith(("baseline", "iter", "final:")):
+            assert line in report
+
+
 # -- friendly error mapping ----------------------------------------------------
 
 

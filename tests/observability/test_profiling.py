@@ -1,0 +1,91 @@
+"""Profiling hooks: spans, activation, and the shared no-op context."""
+
+import pytest
+
+from repro.observability.profiling import (
+    Profiler,
+    activate,
+    active_profiler,
+    deactivate,
+    maybe_span,
+)
+
+pytestmark = pytest.mark.observability
+
+
+@pytest.fixture(autouse=True)
+def no_active_profiler():
+    """Every test starts and ends with no active profiler."""
+    deactivate()
+    yield
+    deactivate()
+
+
+def test_span_accumulates_stats():
+    profiler = Profiler()
+    with profiler.span("work"):
+        pass
+    with profiler.span("work"):
+        pass
+    snap = profiler.snapshot()
+    assert snap["work"]["count"] == 2
+    assert snap["work"]["total_seconds"] >= 0.0
+    assert snap["work"]["min_seconds"] <= snap["work"]["max_seconds"]
+
+
+def test_span_records_on_exception():
+    profiler = Profiler()
+    with pytest.raises(RuntimeError):
+        with profiler.span("boom"):
+            raise RuntimeError("x")
+    assert profiler.snapshot()["boom"]["count"] == 1
+
+
+def test_record_external_duration():
+    profiler = Profiler()
+    profiler.record("fsync", 0.5)
+    profiler.record("fsync", 1.5)
+    stats = profiler.snapshot()["fsync"]
+    assert stats["count"] == 2 and stats["total_seconds"] == 2.0
+    assert stats["mean_seconds"] == 1.0
+
+
+def test_snapshot_sorted_by_total_descending():
+    profiler = Profiler()
+    profiler.record("small", 0.1)
+    profiler.record("big", 5.0)
+    assert list(profiler.snapshot()) == ["big", "small"]
+
+
+def test_maybe_span_is_shared_noop_when_inactive():
+    assert active_profiler() is None
+    span = maybe_span("anything")
+    assert maybe_span("else") is span  # one shared nullcontext, no allocs
+    with span:
+        pass
+
+
+def test_activate_routes_maybe_span_to_the_profiler():
+    profiler = activate()
+    assert active_profiler() is profiler
+    with maybe_span("hot"):
+        pass
+    assert profiler.snapshot()["hot"]["count"] == 1
+    assert deactivate() is profiler
+    assert active_profiler() is None
+
+
+def test_activate_accepts_existing_profiler():
+    mine = Profiler()
+    assert activate(mine) is mine
+    assert active_profiler() is mine
+
+
+def test_report_table():
+    profiler = Profiler()
+    assert profiler.report() == "profile: no spans recorded"
+    profiler.record("simulator.trace", 0.002)
+    text = profiler.report()
+    assert text.startswith("profile:")
+    assert "simulator.trace" in text
+    assert "total_ms" in text and "mean_us" in text

@@ -1,0 +1,100 @@
+"""Acceptance: the recorder is a pure observer.
+
+Traced runs must be bit-identical to untraced ones (the recorder never
+draws RNG or touches the simulated clock) and must stay near zero
+overhead (the ISSUE's 1.25x guard on a 10-generation tune).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.iostack import EvaluationCache, IOStackSimulator, NoiseModel, cori
+from repro.observability.recorder import NULL_RECORDER, TraceRecorder, read_trace
+from repro.tuners.hstuner import HSTuner
+from repro.tuners.stoppers import NoStop
+from tests.conftest import make_workload
+
+pytestmark = pytest.mark.observability
+
+
+def run(recorder=None, iterations=5):
+    sim = IOStackSimulator(cori(2), NoiseModel(seed=11))
+    tuner = HSTuner(
+        sim, stopper=NoStop(), rng=np.random.default_rng(7),
+        population_size=4, cache=EvaluationCache(), recorder=recorder,
+    )
+    return tuner.tune(make_workload(), max_iterations=iterations)
+
+
+def test_traced_run_is_bit_identical(tmp_path):
+    bare = run()
+    with TraceRecorder(tmp_path / "run.jsonl") as recorder:
+        traced = run(recorder)
+    assert traced.history == bare.history
+    assert traced.baseline_perf == bare.baseline_perf
+    assert traced.eval_stats == bare.eval_stats
+    assert traced.best_config == bare.best_config
+
+    events = read_trace(tmp_path / "run.jsonl")
+    kinds = {e["event"] for e in events}
+    assert {"run_start", "baseline", "evaluation", "generation",
+            "cache", "run_end"} <= kinds
+    assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+
+
+def test_trace_carries_the_tuning_clock():
+    import io
+
+    sink = io.StringIO()
+    recorder = TraceRecorder(sink)
+    run(recorder, iterations=3)
+    import json
+
+    events = [json.loads(line) for line in sink.getvalue().splitlines()]
+    generations = [e for e in events if e["event"] == "generation"]
+    assert len(generations) == 3
+    # sim_minutes is stamped once the tuner binds its clock and advances
+    # with the simulated (not wall) clock
+    minutes = [e["sim_minutes"] for e in generations]
+    assert minutes == sorted(minutes) and minutes[-1] > 0
+
+
+def test_run_end_carries_the_full_result(tmp_path):
+    with TraceRecorder(tmp_path / "run.jsonl") as recorder:
+        result = run(recorder)
+    end = read_trace(tmp_path / "run.jsonl")[-1]
+    assert end["event"] == "run_end"
+    assert end["best_perf"] == result.best_perf
+    assert end["baseline_perf"] == result.baseline_perf
+    assert end["stop_reason"] == result.stop_reason
+    assert end["total_evaluations"] == result.total_evaluations
+    assert end["eval_stats"]["evaluations"] == result.eval_stats.evaluations
+
+
+@pytest.mark.slow
+def test_trace_overhead_within_budget(tmp_path):
+    """A traced 10-generation tune stays within 1.25x of the
+    NullRecorder run (best of three to shrug off scheduler noise, plus
+    a small absolute allowance for sub-second runs)."""
+
+    def timed(make_recorder):
+        best = float("inf")
+        for _ in range(3):
+            recorder = make_recorder()
+            start = time.perf_counter()
+            run(recorder, iterations=10)
+            best = min(best, time.perf_counter() - start)
+            if recorder is not NULL_RECORDER:
+                recorder.close()
+        return best
+
+    bare = timed(lambda: NULL_RECORDER)
+    counter = iter(range(100))
+    traced = timed(
+        lambda: TraceRecorder(tmp_path / f"run{next(counter)}.jsonl")
+    )
+    assert traced <= 1.25 * bare + 0.05, (
+        f"tracing overhead {traced / bare:.2f}x exceeds the 1.25x budget"
+    )

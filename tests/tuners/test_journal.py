@@ -183,6 +183,29 @@ def test_kill_and_resume_is_bit_identical(tmp_path):
     assert result.stop_reason == "budget"
 
 
+def test_resumed_run_reports_the_fresh_runs_cache_stats(tmp_path):
+    """Cache-accounting regression: journal replay re-warms the trace
+    cache, and those warming lookups must not inflate the resumed run's
+    cache_hit_rate.  The resumed EvaluationStats match the uninterrupted
+    run's exactly, with warming visible only in the prewarm_* fields."""
+    _, _, resumed_result = run_and_kill_then_resume(
+        tmp_path, faults=False, keep_generations=3
+    )
+    fresh_result = make_tuner().tune(make_workload(), max_iterations=6)
+    fresh, resumed = fresh_result.eval_stats, resumed_result.eval_stats
+
+    assert resumed.prewarm_lookups > 0
+    assert resumed.prewarm_builds > 0
+    assert fresh.prewarm_lookups == 0  # uninterrupted runs never prewarm
+
+    def without_prewarm(stats):
+        return {k: v for k, v in stats.as_dict().items()
+                if not k.startswith("prewarm_")}
+
+    assert without_prewarm(resumed) == without_prewarm(fresh)
+    assert resumed.cache_hit_rate == fresh.cache_hit_rate
+
+
 @pytest.mark.faults
 def test_kill_and_resume_is_bit_identical_under_faults(tmp_path):
     full, cut, result = run_and_kill_then_resume(
