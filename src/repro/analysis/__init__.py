@@ -1,7 +1,8 @@
 """Experiment harness: one runner per paper table/figure, shared
 experiment context (trained agents), and plain-text reporting."""
 
-from .context import ExperimentContext, make_context
+from .context import ExperimentContext, install_context, make_context
+from .runner import ExperimentRunner, RunSpec
 from .experiments import (
     fig01_search_space,
     fig02_log_curves,
@@ -22,6 +23,9 @@ from .reporting import (
 
 __all__ = [
     "ExperimentContext",
+    "ExperimentRunner",
+    "RunSpec",
+    "install_context",
     "make_context",
     "fig01_search_space",
     "fig02_log_curves",

@@ -1,0 +1,134 @@
+"""``tunio-experiments``: run the paper's figure experiments.
+
+Usage::
+
+    tunio-experiments                     # every figure, serial
+    tunio-experiments fig09 fig10         # a subset
+    tunio-experiments --workers 4 \\
+        --cache-dir ~/.cache/tunio fig11  # pooled runs, persistent traces
+
+``--workers N`` (N >= 2) fans each figure's independent tuning runs out
+to a process pool; results are bit-identical to the serial default (the
+per-run seed/salt addressing is the same either way, see
+:mod:`repro.analysis.runner`).  ``--cache-dir`` attaches a persistent
+on-disk trace cache shared by workers and across invocations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import (
+    fig01_search_space,
+    fig02_log_curves,
+    fig08_discovery,
+    fig08c_kernel_similarity,
+    fig09_impact_first,
+    fig10_early_stopping,
+    fig11_pipeline,
+    fig12_lifecycle,
+)
+from .runner import ExperimentRunner
+
+__all__ = ["main"]
+
+#: figure name -> (function, takes seed/iterations/runner kwargs)
+_FIGURES: dict[str, tuple] = {
+    "fig01": (fig01_search_space, False),
+    "fig02": (fig02_log_curves, True),
+    "fig08": (fig08_discovery, True),
+    "fig08c": (fig08c_kernel_similarity, False),
+    "fig09": (fig09_impact_first, True),
+    "fig10": (fig10_early_stopping, True),
+    "fig11": (fig11_pipeline, True),
+    "fig12": (fig12_lifecycle, True),
+}
+
+
+def _workers_arg(text: str) -> int:
+    """``--workers`` value: a non-negative int (0/1 mean serial).
+    Negative values are an argparse error, i.e. exit code 2."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (got {value}); 0 or 1 run serially"
+        )
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tunio-experiments",
+        description="Reproduce the paper's figure experiments.",
+    )
+    parser.add_argument(
+        "figures", nargs="*", metavar="FIG",
+        help=f"figures to run (default: all): {' '.join(_FIGURES)}",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="override each figure's iteration budget (smoke runs)",
+    )
+    parser.add_argument(
+        "--workers", type=_workers_arg, default=None, metavar="N",
+        help="process-pool size for a figure's independent tuning runs; "
+        "omitted, 0 or 1 run serially; results are bit-identical "
+        "either way",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent trace-cache directory shared by pool workers "
+        "and across invocations (default: no disk cache)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list figure names and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in _FIGURES:
+            print(name)
+        return 0
+
+    selected = args.figures or list(_FIGURES)
+    unknown = [f for f in selected if f not in _FIGURES]
+    if unknown:
+        parser.error(
+            f"unknown figure(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(_FIGURES)})"
+        )
+
+    runner = ExperimentRunner(workers=args.workers, cache_dir=args.cache_dir)
+    results: dict[str, object] = {}
+    for name in selected:
+        fn, parameterized = _FIGURES[name]
+        kwargs: dict = {}
+        if parameterized:
+            kwargs["seed"] = args.seed
+            kwargs["runner"] = runner
+            if args.iterations is not None and name != "fig12":
+                kwargs["iterations"] = args.iterations
+        if name == "fig12" and "fig11" in results:
+            kwargs["pipeline"] = results["fig11"]
+        started = time.perf_counter()
+        result = fn(**kwargs)
+        elapsed = time.perf_counter() - started
+        results[name] = result
+        print(result.report())
+        print(f"[{name}: {elapsed:.1f}s]", file=sys.stderr)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

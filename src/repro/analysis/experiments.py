@@ -8,6 +8,23 @@ calls these; EXPERIMENTS.md records paper-vs-measured for each.
 Seeds: every runner takes a ``seed`` so results are reproducible; the
 shared offline-trained agents come from
 :func:`repro.analysis.context.make_context`.
+
+Parallel decomposition
+----------------------
+The GA-based figures accept an optional
+:class:`~repro.analysis.runner.ExperimentRunner`.  Each independent
+tuning run is expressed as a module-level job function (``_figNN_run``)
+addressed purely by ``(seed, salt, ...)`` primitives -- exactly the
+derivation the serial loop used -- so the runner can execute jobs
+in-process (the default) or on a process pool with bit-identical merged
+results.  Anything order-sensitive (Figure 11's shared ``eval_sim``
+noise stream, Figure 8's accuracy check against the tuned app config)
+stays in the merge step, which always runs serially in the parent.
+
+Each job builds its own :class:`~repro.iostack.evalcache.EvaluationCache`
+(runs never share in-memory state); cross-run trace reuse is provided by
+the persistent disk backend when the runner carries a ``cache_dir``,
+which works identically for serial and pooled execution.
 """
 
 from __future__ import annotations
@@ -40,6 +57,7 @@ from repro.workloads.sources import canonical_hints, load_source
 
 from .context import make_context
 from .reporting import ascii_chart, format_series, format_table
+from .runner import ExperimentRunner, RunSpec
 
 __all__ = [
     "fig01_search_space",
@@ -51,6 +69,19 @@ __all__ = [
     "fig11_pipeline",
     "fig12_lifecycle",
 ]
+
+#: Workload constructors addressable by name (jobs ship names, not
+#: workload objects).
+_WORKLOADS = {"hacc": hacc, "flash": flash, "vpic": vpic, "bdcats": bdcats}
+
+
+def _make_cache(cache_dir: str | None) -> EvaluationCache:
+    """A fresh per-run evaluation cache, disk-backed when asked."""
+    if cache_dir is None:
+        return EvaluationCache()
+    from repro.iostack.diskcache import DiskCacheBackend
+
+    return EvaluationCache(backend=DiskCacheBackend(cache_dir))
 
 
 # ---------------------------------------------------------------------------
@@ -148,19 +179,45 @@ def _log_fit_r2(values: np.ndarray) -> float:
     return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
 
 
-def fig02_log_curves(seed: int = 0, iterations: int = 50) -> LogCurvesResult:
+def _fig02_run(
+    seed: int, salt: int, workload_name: str, iterations: int,
+    cache_dir: str | None = None,
+) -> TuningResult:
+    """One Figure 2 tuning run, addressed by (seed, salt, workload)."""
+    ctx = make_context(seed)
+    workload = _WORKLOADS[workload_name]()
+    sim = ctx.simulator_for(workload.n_nodes, salt=salt)
+    tuner = HSTuner(
+        sim, stopper=NoStop(), rng=ctx.rng(salt), cache=_make_cache(cache_dir)
+    )
+    return tuner.tune(workload, max_iterations=iterations)
+
+
+def fig02_log_curves(
+    seed: int = 0, iterations: int = 50, runner: ExperimentRunner | None = None
+) -> LogCurvesResult:
     """Figure 2: tune HACC, FLASH and VPIC with plain HSTuner and show
     the logarithmic shape of the bandwidth-vs-iteration curves."""
+    runner = runner if runner is not None else ExperimentRunner()
     ctx = make_context(seed)
+    names = ("hacc", "flash", "vpic")
+    specs = [
+        RunSpec(
+            _fig02_run,
+            dict(
+                seed=seed, salt=salt + 20, workload_name=name,
+                iterations=iterations, cache_dir=runner.cache_dir,
+            ),
+            label=f"fig02:{name}",
+        )
+        for salt, name in enumerate(names)
+    ]
+    runs = runner.map(specs, context=ctx)
     results: dict[str, TuningResult] = {}
     fits: dict[str, float] = {}
-    cache = EvaluationCache()
-    for salt, workload in enumerate((hacc(), flash(), vpic())):
-        sim = ctx.simulator_for(workload.n_nodes, salt=salt + 20)
-        tuner = HSTuner(sim, stopper=NoStop(), rng=ctx.rng(salt + 20), cache=cache)
-        res = tuner.tune(workload, max_iterations=iterations)
-        results[workload.name] = res
-        fits[workload.name] = _log_fit_r2(res.perf_series())
+    for res in runs:
+        results[res.workload_name] = res
+        fits[res.workload_name] = _log_fit_r2(res.perf_series())
     return LogCurvesResult(results=results, log_fit_r2=fits)
 
 
@@ -217,32 +274,63 @@ class DiscoveryRoTIResult:
         )
 
 
-def fig08_discovery(seed: int = 0, iterations: int = 40) -> DiscoveryRoTIResult:
-    """Figures 8(a)/(b): tune MACSio as the full application, as its I/O
-    kernel, and as the 1%-loop-reduced kernel; compare RoTI curves."""
-    ctx = make_context(seed)
+def _fig08_workload(kind: str) -> WorkloadLike:
+    """The MACSio workload for one Figure 8 pipeline ('app', 'kernel'
+    or 'reduced'); discovery is deterministic, so rebuilding it inside a
+    pool worker yields the parent's workload exactly."""
     source = load_source("macsio")
     hints = canonical_hints("macsio")
-
-    app = workload_from_source(source, "macsio-app", hints)
-    kernel = discover_io(source, "macsio", DiscoveryOptions(hints=hints))
-    kernel_workload = kernel.to_workload()
-    reduced = discover_io(
+    if kind == "app":
+        return workload_from_source(source, "macsio-app", hints)
+    if kind == "kernel":
+        return discover_io(source, "macsio", DiscoveryOptions(hints=hints)).to_workload()
+    return discover_io(
         source, "macsio",
         DiscoveryOptions(hints=hints, reducers=(LoopReduction(0.01),)),
+    ).to_workload()
+
+
+def _fig08_run(
+    seed: int, kind: str, n_nodes: int, iterations: int,
+    cache_dir: str | None = None,
+) -> TuningResult:
+    """One Figure 8 pipeline run (same salt for all three: the GA
+    trajectory is held constant so the figure isolates evaluation
+    cost)."""
+    ctx = make_context(seed)
+    workload = _fig08_workload(kind)
+    sim = ctx.simulator_for(n_nodes, salt=80)
+    tuner = HSTuner(
+        sim, stopper=NoStop(), rng=ctx.rng(80), cache=_make_cache(cache_dir)
     )
-    reduced_workload = reduced.to_workload()
+    return tuner.tune(workload, max_iterations=iterations)
+
+
+def fig08_discovery(
+    seed: int = 0, iterations: int = 40, runner: ExperimentRunner | None = None
+) -> DiscoveryRoTIResult:
+    """Figures 8(a)/(b): tune MACSio as the full application, as its I/O
+    kernel, and as the 1%-loop-reduced kernel; compare RoTI curves."""
+    runner = runner if runner is not None else ExperimentRunner()
+    ctx = make_context(seed)
+    app = _fig08_workload("app")
+    reduced_workload = _fig08_workload("reduced")
 
     # All three pipelines run the same GA trajectory (same seed and
     # noise), so the time difference is the evaluation-cost saving of the
     # kernel, not GA luck -- the quantity Figure 8 isolates.
-    results = []
-    cache = EvaluationCache()
-    for workload in (app, kernel_workload, reduced_workload):
-        sim = ctx.simulator_for(app.n_nodes, salt=80)
-        tuner = HSTuner(sim, stopper=NoStop(), rng=ctx.rng(80), cache=cache)
-        results.append(tuner.tune(workload, max_iterations=iterations))
-    app_res, kern_res, red_res = results
+    specs = [
+        RunSpec(
+            _fig08_run,
+            dict(
+                seed=seed, kind=kind, n_nodes=app.n_nodes,
+                iterations=iterations, cache_dir=runner.cache_dir,
+            ),
+            label=f"fig08:{kind}",
+        )
+        for kind in ("app", "kernel", "reduced")
+    ]
+    app_res, kern_res, red_res = runner.map(specs, context=ctx)
 
     # Reported-bandwidth accuracy of the reduced kernel: evaluate the same
     # (tuned) configuration on both and compare the measured perf.
@@ -364,8 +452,39 @@ class ImpactFirstResult:
         return "\n".join(lines)
 
 
+def _fig09_run(
+    seed: int, repeat: int, arm: str, iterations: int,
+    cache_dir: str | None = None,
+) -> TuningResult:
+    """One Figure 9 arm: 'impact' (TunIO's Smart Configuration
+    Generation, sim salt ``90 + 10r``) or 'baseline' (plain HSTuner, sim
+    salt ``91 + 10r``); both arms of a repeat share the GA stream
+    ``rng(90 + 10r)``."""
+    ctx = make_context(seed)
+    workload = flash()
+    if arm == "impact":
+        sim = ctx.simulator_for(workload.n_nodes, salt=90 + 10 * repeat)
+        tuner: HSTuner = TunIOTuner(
+            sim,
+            smart_config=ctx.fresh_agents().smart_config,
+            stopper=NoStop(),  # isolate the component: no early stopping
+            rng=ctx.rng(90 + 10 * repeat),
+            cache=_make_cache(cache_dir),
+        )
+    else:
+        sim = ctx.simulator_for(workload.n_nodes, salt=91 + 10 * repeat)
+        tuner = HSTuner(
+            sim,
+            stopper=NoStop(),
+            rng=ctx.rng(90 + 10 * repeat),
+            cache=_make_cache(cache_dir),
+        )
+    return tuner.tune(workload, max_iterations=iterations)
+
+
 def fig09_impact_first(
-    seed: int = 0, iterations: int = 50, repeats: int = 3
+    seed: int = 0, iterations: int = 50, repeats: int = 3,
+    runner: ExperimentRunner | None = None,
 ) -> ImpactFirstResult:
     """Figure 9: attach Smart Configuration Generation to the pipeline
     for FLASH and compare against the pipeline without it.
@@ -374,27 +493,24 @@ def fig09_impact_first(
     reported iteration counts are medians and the plotted curves come
     from the median-ranked impact-first run.
     """
+    runner = runner if runner is not None else ExperimentRunner()
     ctx = make_context(seed)
-    workload = flash()
 
-    impact_runs: list[TuningResult] = []
-    base_runs: list[TuningResult] = []
-    cache = EvaluationCache()
-    for r in range(repeats):
-        sim_a = ctx.simulator_for(workload.n_nodes, salt=90 + 10 * r)
-        tunio = TunIOTuner(
-            sim_a,
-            smart_config=ctx.fresh_agents().smart_config,
-            stopper=NoStop(),  # isolate the component: no early stopping
-            rng=ctx.rng(90 + 10 * r),
-            cache=cache,
+    specs = [
+        RunSpec(
+            _fig09_run,
+            dict(
+                seed=seed, repeat=r, arm=arm, iterations=iterations,
+                cache_dir=runner.cache_dir,
+            ),
+            label=f"fig09:{arm}:{r}",
         )
-        impact_runs.append(tunio.tune(workload, max_iterations=iterations))
-        sim_b = ctx.simulator_for(workload.n_nodes, salt=91 + 10 * r)
-        baseline = HSTuner(
-            sim_b, stopper=NoStop(), rng=ctx.rng(90 + 10 * r), cache=cache
-        )
-        base_runs.append(baseline.tune(workload, max_iterations=iterations))
+        for r in range(repeats)
+        for arm in ("impact", "baseline")
+    ]
+    runs = runner.map(specs, context=ctx)
+    impact_runs = runs[0::2]
+    base_runs = runs[1::2]
 
     # The paper's yardstick is the 2.3 GB/s level both pipelines reach on
     # FLASH; fall back to 95% of the worst final if a run falls short.
@@ -474,14 +590,32 @@ class EarlyStoppingResult:
         )
 
 
-def fig10_early_stopping(seed: int = 0, iterations: int = 50) -> EarlyStoppingResult:
-    """Figure 10: run HACC for the full budget, then replay each
-    stopping method over the recorded history."""
+def _fig10_run(
+    seed: int, iterations: int, cache_dir: str | None = None
+) -> TuningResult:
+    """The single full-budget HACC run Figure 10 replays stoppers over."""
     ctx = make_context(seed)
     workload = hacc()
     sim = ctx.simulator_for(workload.n_nodes, salt=100)
-    tuner = HSTuner(sim, stopper=NoStop(), rng=ctx.rng(100), cache=EvaluationCache())
-    full = tuner.tune(workload, max_iterations=iterations)
+    tuner = HSTuner(
+        sim, stopper=NoStop(), rng=ctx.rng(100), cache=_make_cache(cache_dir)
+    )
+    return tuner.tune(workload, max_iterations=iterations)
+
+
+def fig10_early_stopping(
+    seed: int = 0, iterations: int = 50, runner: ExperimentRunner | None = None
+) -> EarlyStoppingResult:
+    """Figure 10: run HACC for the full budget, then replay each
+    stopping method over the recorded history."""
+    runner = runner if runner is not None else ExperimentRunner()
+    ctx = make_context(seed)
+    spec = RunSpec(
+        _fig10_run,
+        dict(seed=seed, iterations=iterations, cache_dir=runner.cache_dir),
+        label="fig10:full-run",
+    )
+    (full,) = runner.map([spec], context=ctx)
     history = full.history
 
     def outcome(name: str, stop_iter: int) -> StopperOutcome:
@@ -594,52 +728,90 @@ class PipelineResult:
         )
 
 
-def fig11_pipeline(seed: int = 0, iterations: int = 50) -> PipelineResult:
-    """Figure 11: BD-CATS tuned by HSTuner (no stop / heuristic stop) and
-    TunIO, each on the full application and on the I/O kernel."""
+#: (variant name, tuning target, tuner kind, sim/rng salt) -- the
+#: addressing of the six Figure 11 runs.
+_FIG11_VARIANTS = (
+    ("hstuner-nostop", "app", "nostop", 111),
+    ("hstuner-heuristic", "app", "heuristic", 112),
+    ("tunio", "app", "tunio", 113),
+    ("hstuner-nostop+kernel", "kernel", "nostop", 114),
+    ("hstuner-heuristic+kernel", "kernel", "heuristic", 115),
+    ("tunio+kernel", "kernel", "tunio", 116),
+)
+
+
+def _fig11_run(
+    seed: int, target_kind: str, tuner_kind: str, salt: int, iterations: int,
+    cache_dir: str | None = None,
+) -> TuningResult:
+    """One Figure 11 pipeline variant.  The variant's ``app_perf``
+    evaluation is NOT done here: it consumes the shared ``eval_sim``
+    noise stream in variant order, so it belongs to the (serial) merge
+    step of :func:`fig11_pipeline`."""
     ctx = make_context(seed)
     app = bdcats()
-    hints = canonical_hints("bdcats")
-    kernel = discover_io(
-        load_source("bdcats"), "bdcats", DiscoveryOptions(hints=hints)
-    ).to_workload()
+    if target_kind == "kernel":
+        hints = canonical_hints("bdcats")
+        target: WorkloadLike = discover_io(
+            load_source("bdcats"), "bdcats", DiscoveryOptions(hints=hints)
+        ).to_workload()
+    else:
+        target = app
+    sim = ctx.simulator_for(app.n_nodes, salt=salt)
+    normalizer = ctx.normalizer_for(app.n_nodes)
+    rng = ctx.rng(salt)
+    cache = _make_cache(cache_dir)
+    if tuner_kind == "tunio":
+        tuner: HSTuner = build_tunio(
+            sim, ctx.fresh_agents(), normalizer, rng=rng, cache=cache
+        )
+    elif tuner_kind == "heuristic":
+        tuner = HSTuner(sim, stopper=HeuristicStopper(), rng=rng, cache=cache)
+    else:
+        tuner = HSTuner(sim, stopper=NoStop(), rng=rng, cache=cache)
+    return tuner.tune(target, max_iterations=iterations)
 
+
+def fig11_pipeline(
+    seed: int = 0, iterations: int = 50, runner: ExperimentRunner | None = None
+) -> PipelineResult:
+    """Figure 11: BD-CATS tuned by HSTuner (no stop / heuristic stop) and
+    TunIO, each on the full application and on the I/O kernel."""
+    runner = runner if runner is not None else ExperimentRunner()
+    ctx = make_context(seed)
+    app = bdcats()
+
+    # The shared evaluation stream: baseline first, then each variant's
+    # best config in variant order -- strictly serial, merge-side.
     eval_sim = ctx.simulator_for(app.n_nodes, salt=110)
     baseline = eval_sim.evaluate(app, StackConfiguration.default()).perf_mbps
 
-    cache = EvaluationCache()
+    specs = [
+        RunSpec(
+            _fig11_run,
+            dict(
+                seed=seed, target_kind=target_kind, tuner_kind=tuner_kind,
+                salt=salt, iterations=iterations, cache_dir=runner.cache_dir,
+            ),
+            label=f"fig11:{name}",
+        )
+        for name, target_kind, tuner_kind, salt in _FIG11_VARIANTS
+    ]
+    results = runner.map(specs, context=ctx)
 
-    def run(name: str, target: WorkloadLike, tuner_kind: str, salt: int) -> PipelineVariant:
-        sim = ctx.simulator_for(app.n_nodes, salt=salt)
-        normalizer = ctx.normalizer_for(app.n_nodes)
-        rng = ctx.rng(salt)
-        if tuner_kind == "tunio":
-            tuner: HSTuner = build_tunio(
-                sim, ctx.fresh_agents(), normalizer, rng=rng, cache=cache
-            )
-        elif tuner_kind == "heuristic":
-            tuner = HSTuner(sim, stopper=HeuristicStopper(), rng=rng, cache=cache)
-        else:
-            tuner = HSTuner(sim, stopper=NoStop(), rng=rng, cache=cache)
-        res = tuner.tune(target, max_iterations=iterations)
+    variants = []
+    for (name, _target_kind, _tuner_kind, _salt), res in zip(_FIG11_VARIANTS, results):
         config = res.best_config or StackConfiguration.default()
         app_perf = eval_sim.evaluate(app, config).perf_mbps
-        return PipelineVariant(
-            name=name,
-            result=res,
-            app_perf_mbps=app_perf,
-            roti=(app_perf - baseline) / max(res.total_minutes, 1e-9),
+        variants.append(
+            PipelineVariant(
+                name=name,
+                result=res,
+                app_perf_mbps=app_perf,
+                roti=(app_perf - baseline) / max(res.total_minutes, 1e-9),
+            )
         )
-
-    variants = (
-        run("hstuner-nostop", app, "nostop", 111),
-        run("hstuner-heuristic", app, "heuristic", 112),
-        run("tunio", app, "tunio", 113),
-        run("hstuner-nostop+kernel", kernel, "nostop", 114),
-        run("hstuner-heuristic+kernel", kernel, "heuristic", 115),
-        run("tunio+kernel", kernel, "tunio", 116),
-    )
-    return PipelineResult(variants=variants, app_baseline_mbps=baseline)
+    return PipelineResult(variants=tuple(variants), app_baseline_mbps=baseline)
 
 
 # ---------------------------------------------------------------------------
@@ -680,7 +852,8 @@ class LifecycleResult:
 
 
 def fig12_lifecycle(
-    seed: int = 0, pipeline: PipelineResult | None = None
+    seed: int = 0, pipeline: PipelineResult | None = None,
+    runner: ExperimentRunner | None = None,
 ) -> LifecycleResult:
     """Figure 12: derive lifecycle models from the Figure 11 runs (TunIO
     vs H5Tuner full-budget) and locate the viability/crossover points."""
@@ -688,7 +861,7 @@ def fig12_lifecycle(
     app = bdcats()
     sim = ctx.simulator_for(app.n_nodes, salt=120)
     if pipeline is None:
-        pipeline = fig11_pipeline(seed)
+        pipeline = fig11_pipeline(seed, runner=runner)
     tunio_model = lifecycle_model(sim, app, pipeline.get("tunio").result, name="tunio")
     hstuner_model = lifecycle_model(
         sim, app, pipeline.get("hstuner-nostop").result, name="h5tuner"

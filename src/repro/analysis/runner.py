@@ -1,0 +1,145 @@
+"""The process-parallel experiment engine.
+
+Every heavyweight figure experiment decomposes into independent tuning
+runs: each run builds its own simulator (``ctx.simulator_for(n, salt)``),
+its own RNG stream (``ctx.rng(salt)``) and its own evaluation cache, so
+nothing a run does can perturb a sibling.  :class:`ExperimentRunner`
+exploits exactly that: each :class:`RunSpec` is a seed-addressed job
+(a module-level function plus primitive kwargs) that can execute in this
+process or on a :class:`~concurrent.futures.ProcessPoolExecutor`, and
+because the per-job seed/salt derivation is identical either way, the
+merged results are **bit-identical** to the serial path.
+
+Serial remains the default (``workers=None``); ``workers >= 2`` opts in
+to the pool.  Order-sensitive work -- evaluations that consume a shared
+noise stream (Figure 11's ``eval_sim``) or depend on another run's
+output (Figure 8's accuracy check) -- stays in the merge step of each
+``fig*`` function, which runs in the parent in serial order.
+
+Context shipping
+----------------
+Workers need the offline-trained agents, and retraining them per worker
+would cost more than the parallelism saves.  The pool initializer ships
+the parent's :class:`~repro.analysis.context.ExperimentContext` (pickled
+once per worker) and registers it via
+:func:`~repro.analysis.context.install_context`, so a job's
+``make_context(seed)`` call returns the parent's trained weights --
+which is also what makes parallel runs bit-identical to serial ones.
+
+Shared disk cache
+-----------------
+``cache_dir`` threads a
+:class:`~repro.iostack.diskcache.DiskCacheBackend` directory into every
+job.  Concurrent workers then share traces through the filesystem
+(atomic content-addressed entries), recovering the cross-run trace
+dedup that a single in-process cache used to provide -- and keeping it
+across separate invocations.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+__all__ = ["RunSpec", "ExperimentRunner"]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import ExperimentContext
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent, seed-addressed unit of an experiment.
+
+    ``fn`` must be a module-level function (picklable by qualified name)
+    and ``kwargs`` plain picklable values -- seeds, salts, workload
+    names -- never live simulators or tuners: the job *derives* its
+    private state from the addressing, which is what makes it
+    location-transparent.
+    """
+
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def run(self) -> Any:
+        return self.fn(**self.kwargs)
+
+
+def _execute_spec(spec: RunSpec) -> Any:
+    """Module-level trampoline so the pool pickles the spec, not a
+    bound method."""
+    return spec.run()
+
+
+def _worker_init(context: "ExperimentContext | None") -> None:
+    """Pool initializer: install the parent's trained context so the
+    worker's ``make_context`` never retrains (and matches the parent's
+    weights exactly)."""
+    if context is not None:
+        from .context import install_context
+
+        install_context(context)
+
+
+class ExperimentRunner:
+    """Maps :class:`RunSpec` jobs serially or over a process pool.
+
+    Parameters
+    ----------
+    workers:
+        ``None``, ``0`` or ``1`` run every job in-process (the default
+        serial path); ``N >= 2`` dispatches jobs to a
+        ``ProcessPoolExecutor`` with at most ``N`` workers.  Negative
+        values are rejected.
+    cache_dir:
+        Optional directory for the persistent evaluation cache; jobs
+        receive it as their ``cache_dir`` kwarg (when the spec carries
+        one) and attach a shared
+        :class:`~repro.iostack.diskcache.DiskCacheBackend` to their
+        evaluation caches.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache_dir: str | Path | None = None,
+    ):
+        if workers is not None and workers < 0:
+            raise ValueError(
+                f"workers must be >= 0 (got {workers}); "
+                "None/0/1 run serially, >= 2 uses a process pool"
+            )
+        self.workers = workers
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers is not None and self.workers >= 2
+
+    def map(
+        self,
+        specs: Sequence[RunSpec],
+        context: "ExperimentContext | None" = None,
+    ) -> list[Any]:
+        """Run every spec and return results in spec order.
+
+        ``context`` is the parent's trained experiment context, shipped
+        to pool workers via the initializer; it is ignored on the
+        serial path (the jobs' own ``make_context`` already hits the
+        in-process cache).
+        """
+        specs = list(specs)
+        if not self.parallel or len(specs) <= 1:
+            return [spec.run() for spec in specs]
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(specs)),
+            initializer=_worker_init,
+            initargs=(context,),
+        ) as pool:
+            futures = [pool.submit(_execute_spec, spec) for spec in specs]
+            # Collect in submission order: result order must not depend
+            # on completion order for the merge to be deterministic.
+            return [future.result() for future in futures]

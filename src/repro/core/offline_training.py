@@ -21,6 +21,7 @@ Per Section III-C/D:
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
@@ -64,6 +65,10 @@ class SweepResult:
     configs: np.ndarray
     #: (n_runs,) observed perf in MB/s.
     perfs: np.ndarray
+    #: Trace-cache hits during the sweep (duplicate configurations --
+    #: the default revisited per axis, random samples colliding with
+    #: axis points -- that skipped the stack traversal).
+    cache_hits: int = 0
 
 
 def parameter_sweep(
@@ -79,20 +84,20 @@ def parameter_sweep(
     """The paper's "simple parameter sweep": one-at-a-time axis sweeps
     from the default configuration plus uniform random samples.
 
-    ``cache`` memoizes stack traces across the sweep (and across sweeps
-    sharing the cache), so re-drawn configurations -- random samples
-    colliding with axis points, the default revisited per axis -- skip
-    the stack traversal.  Results are bit-identical either way.
+    Every evaluation routes through an :class:`EvaluationCache` (the
+    shared ``cache`` when given, a sweep-private one otherwise), so
+    duplicate configurations skip the stack traversal; the hits are
+    counted on :attr:`SweepResult.cache_hits`.  Results are bit-identical
+    with or without a shared cache (the cache contract).
     """
     rng = rng if rng is not None else np.random.default_rng()
+    cache = cache if cache is not None else EvaluationCache()
+    hits_before = cache.hits
     configs: list[np.ndarray] = []
     perfs: list[float] = []
 
     def run(config: StackConfiguration) -> None:
-        if cache is not None:
-            result = cache.evaluate(simulator, workload, config, repeats=repeats)
-        else:
-            result = simulator.evaluate(workload, config, repeats=repeats)
+        result = cache.evaluate(simulator, workload, config, repeats=repeats)
         configs.append(config.normalized())
         perfs.append(result.perf_mbps)
 
@@ -112,6 +117,7 @@ def parameter_sweep(
         workload_name=workload.name,
         configs=np.array(configs),
         perfs=np.array(perfs),
+        cache_hits=cache.hits - hits_before,
     )
 
 
@@ -164,10 +170,23 @@ def pretrain_subset_picker(
     episodes: int = 60,
     iterations_per_episode: int = 20,
     rng: np.random.Generator | None = None,
+    batched: bool = False,
 ) -> None:
     """Warm the Subset Picker's Q-network by running surrogate tuning
-    episodes against the sweep-derived impact structure."""
+    episodes against the sweep-derived impact structure.
+
+    ``batched=True`` runs every episode in lockstep: per surrogate
+    iteration the whole batch updates the State Observer through one
+    :meth:`MLP.train_batch` call, acts through one batched forward pass,
+    and trains the picker on one large minibatch -- checkpoint-level
+    equivalent to the serial loop, several times faster.
+    """
     rng = rng if rng is not None else agent.rng
+    if batched:
+        _pretrain_subset_picker_batched(
+            agent, impact_scores, episodes, iterations_per_episode, rng
+        )
+        return
     agent.set_impact_scores(impact_scores)
     names = agent.space.names
     env = _SurrogateTuning(impact_scores=agent.impact_scores, rng=rng)
@@ -183,6 +202,92 @@ def pretrain_subset_picker(
     agent.reset_episode()
 
 
+def _pretrain_subset_picker_batched(
+    agent: SmartConfigAgent,
+    impact_scores: np.ndarray,
+    episodes: int,
+    iterations_per_episode: int,
+    rng: np.random.Generator,
+) -> None:
+    """Lockstep surrogate pretraining: ``episodes`` analytic tuning runs
+    advance together, batching every network touch.
+
+    Mirrors the serial path's structure -- context -> observer update ->
+    state observation -> delayed reward maturation -> picker update ->
+    epsilon-greedy action -> subset materialisation -> env step -- with
+    the per-episode python/NN calls fused into array operations.
+    """
+    agent.set_impact_scores(impact_scores)
+    space = agent.space
+    names = space.names
+    n_params = len(space)
+    m = episodes
+    settings = agent.settings
+    delay = settings.delay
+    sizes = np.array(agent.subset_sizes)
+
+    env = _SurrogateTuning(impact_scores=agent.impact_scores, rng=rng)
+    perf = rng.uniform(0.05, 0.25, size=m)
+    # Subset membership one-hot per episode; episodes start on the full
+    # parameter set like the serial loop.
+    member = np.ones((m, n_params))
+    perf_trace = np.empty((iterations_per_episode, m))
+    state_hist: list[np.ndarray] = []
+    action_hist: list[np.ndarray] = []
+
+    for it in range(iterations_per_episode):
+        perf_trace[it] = perf
+        subset_frac = member.sum(axis=1) / n_params
+        contexts = np.concatenate(
+            [
+                member,
+                perf[:, None],
+                np.full((m, 1), min(2.0, it / settings.max_iterations)),
+            ],
+            axis=1,
+        )
+        reward_now = perf / subset_frac
+        agent.observer.update_batch(contexts, reward_now)
+        states = agent.observer.observe_state_batch(contexts)
+
+        # Mature the decisions born ``delay`` iterations ago, rewarded
+        # with the perf they led to (the serial delayed_reward closure).
+        born = it - delay
+        if born >= 0:
+            agent.picker.observe_batch(
+                state_hist[born],
+                action_hist[born],
+                perf / subset_frac,
+                states,
+                False,
+            )
+        agent.picker.train_step(batch_size=max(agent.picker.config.batch_size, 2 * m))
+
+        actions = agent.picker.act_batch(states)
+        state_hist.append(states)
+        action_hist.append(actions)
+        agent.picker.epsilon = max(
+            agent.picker.config.epsilon_end,
+            agent.picker.epsilon * agent.picker.config.epsilon_decay**m,
+        )
+
+        # Materialise each episode's next subset (per-episode sampling,
+        # like the serial `_materialize_subset`), then step the analytic
+        # environment for the whole batch at once.
+        member = np.zeros((m, n_params))
+        for i in range(m):
+            subset = agent._materialize_subset(int(sizes[actions[i]]))
+            for name in subset:
+                member[i, space.index_of_name(name)] = 1.0
+        covered = member @ agent.impact_scores
+        gap = np.maximum(0.0, env.ceiling - perf)
+        gain = env.rate * covered * gap
+        gain += rng.normal(0.0, 1.0, size=m) * (env.noise * np.maximum(gain, 0.01))
+        perf = np.minimum(env.ceiling, perf + np.maximum(0.0, gain))
+
+    agent.reset_episode()
+
+
 @dataclass
 class TunIOAgents:
     """The offline-trained agent pair TunIO's pipeline consumes."""
@@ -190,6 +295,19 @@ class TunIOAgents:
     smart_config: SmartConfigAgent
     early_stopper: EarlyStoppingAgent
     impact_scores: np.ndarray
+
+
+def _sweep_job(
+    simulator: IOStackSimulator,
+    workload: WorkloadLike,
+    space: ParameterSpace,
+    seed: int,
+) -> SweepResult:
+    """Process-pool job: one workload's parameter sweep with its own
+    derived random stream and a private trace cache."""
+    return parameter_sweep(
+        simulator, workload, space, rng=np.random.default_rng(seed)
+    )
 
 
 def train_tunio_agents(
@@ -200,22 +318,53 @@ def train_tunio_agents(
     rng: np.random.Generator | None = None,
     curve_generator: LogCurveGenerator | None = None,
     cache: EvaluationCache | None = None,
+    workers: int | None = None,
+    batched: bool = False,
 ) -> TunIOAgents:
     """The full offline phase: sweep the representative kernels, run the
     PCA, pre-train the subset picker, and train the early stopper on
-    generated log curves.  All sweeps share ``cache`` when given."""
+    generated log curves.  All sweeps share ``cache`` when given.
+
+    The defaults keep the original serial, bit-reproducible behaviour.
+    ``workers >= 2`` fans the per-workload sweeps onto a process pool
+    (each sweep on an independent seed derived from ``rng``), and
+    ``batched=True`` switches both pretraining phases to their
+    vectorized fastpaths; either opt-in trains checkpoint-equivalent --
+    not bit-identical -- agents, validated by the offline-fastpath
+    equivalence tests.
+    """
     rng = rng if rng is not None else np.random.default_rng()
-    sweeps = [
-        parameter_sweep(simulator, w, space, rng=rng, cache=cache)
-        for w in training_workloads
-    ]
+    use_pool = workers is not None and workers >= 2 and len(training_workloads) > 1
+    if use_pool:
+        seeds = [int(s) for s in rng.integers(2**63, size=len(training_workloads))]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(training_workloads))
+            ) as pool:
+                futures = [
+                    pool.submit(_sweep_job, simulator, w, space, seed)
+                    for w, seed in zip(training_workloads, seeds)
+                ]
+                sweeps = [f.result() for f in futures]
+        except Exception:
+            # Pool breakage (spawn failure, unpicklable platform) falls
+            # back to in-process sweeps on the same derived seeds.
+            sweeps = [
+                _sweep_job(simulator, w, space, seed)
+                for w, seed in zip(training_workloads, seeds)
+            ]
+    else:
+        sweeps = [
+            parameter_sweep(simulator, w, space, rng=rng, cache=cache)
+            for w in training_workloads
+        ]
     impact = impact_from_sweeps(sweeps)
 
     smart = SmartConfigAgent(space=space, normalizer=normalizer, rng=rng)
-    pretrain_subset_picker(smart, impact, rng=rng)
+    pretrain_subset_picker(smart, impact, rng=rng, batched=batched)
 
     stopper = EarlyStoppingAgent(rng=rng)
-    stopper.train_offline(generator=curve_generator, rng=rng)
+    stopper.train_offline(generator=curve_generator, rng=rng, batched=batched)
 
     return TunIOAgents(smart_config=smart, early_stopper=stopper, impact_scores=impact)
 

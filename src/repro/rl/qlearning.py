@@ -72,6 +72,23 @@ class QLearningAgent:
             return int(self.rng.integers(self.config.n_actions))
         return int(np.argmax(self.q_values(state)))
 
+    def act_batch(self, states: np.ndarray, greedy: bool = False) -> np.ndarray:
+        """Epsilon-greedy actions for a batch of states in one forward
+        pass.  Draws one uniform and one integer array per call (instead
+        of :meth:`act`'s per-state draws), so it is distributionally --
+        not bit-for-bit -- equivalent to a loop of serial calls; greedy
+        decisions are identical either way.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        actions = np.argmax(np.asarray(self.q_network(states)), axis=1)
+        if not greedy:
+            explore = self.rng.random(states.shape[0]) < self.epsilon
+            random_actions = self.rng.integers(
+                self.config.n_actions, size=states.shape[0]
+            )
+            actions = np.where(explore, random_actions, actions)
+        return actions.astype(int)
+
     def decay_epsilon(self) -> None:
         self.epsilon = max(self.config.epsilon_end, self.epsilon * self.config.epsilon_decay)
 
@@ -84,22 +101,51 @@ class QLearningAgent:
             )
         self.replay.push(transition)
 
-    def train_step(self) -> float | None:
+    def observe_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+    ) -> None:
+        """Push a batch of transitions given as parallel arrays."""
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        next_states = np.atleast_2d(np.asarray(next_states, dtype=float))
+        if states.shape[1] != self.config.state_dim:
+            raise ValueError(
+                f"state dim {states.shape[1]} != ({self.config.state_dim},)"
+            )
+        actions = np.broadcast_to(actions, (states.shape[0],))
+        rewards = np.broadcast_to(rewards, (states.shape[0],))
+        dones = np.broadcast_to(dones, (states.shape[0],))
+        for i in range(states.shape[0]):
+            self.replay.push(
+                Transition(
+                    state=states[i],
+                    action=int(actions[i]),
+                    reward=float(rewards[i]),
+                    next_state=next_states[i],
+                    done=bool(dones[i]),
+                )
+            )
+
+    def train_step(self, batch_size: int | None = None) -> float | None:
         """One minibatch update; returns the loss, or ``None`` when the
-        replay buffer is still empty."""
+        replay buffer is still empty.  ``batch_size`` overrides the
+        configured minibatch size (used by the batched trainers to feed
+        bigger batches through the same update)."""
         if len(self.replay) == 0:
             return None
-        batch = self.replay.sample(self.config.batch_size, self.rng)
-        states = np.stack([t.state for t in batch])
-        next_states = np.stack([t.next_state for t in batch])
-        rewards = np.array([t.reward for t in batch])
-        dones = np.array([t.done for t in batch])
-        actions = np.array([t.action for t in batch])
+        size = batch_size if batch_size is not None else self.config.batch_size
+        states, actions, rewards, next_states, dones = self.replay.sample_arrays(
+            size, self.rng
+        )
 
         next_q = np.asarray(self.target_network(next_states))
         bootstrap = np.where(dones, 0.0, self.config.discount * next_q.max(axis=1))
-        targets = np.full((len(batch), self.config.n_actions), np.nan)
-        targets[np.arange(len(batch)), actions] = rewards + bootstrap
+        targets = np.full((states.shape[0], self.config.n_actions), np.nan)
+        targets[np.arange(states.shape[0]), actions] = rewards + bootstrap
 
         loss = self.q_network.train_batch(states, targets)
         self._train_steps += 1

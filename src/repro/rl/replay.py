@@ -56,6 +56,25 @@ class ReplayBuffer:
         idx = rng.integers(len(self._buf), size=min(batch_size, len(self._buf)))
         return [self._buf[int(i)] for i in idx]
 
+    def sample_arrays(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Uniform minibatch as stacked arrays: ``(states, actions,
+        rewards, next_states, dones)``.
+
+        Consumes the RNG exactly like :meth:`sample` (one ``integers``
+        draw of the same size), so swapping one for the other leaves
+        every downstream random stream untouched.
+        """
+        batch = self.sample(batch_size, rng)
+        return (
+            np.stack([t.state for t in batch]),
+            np.array([t.action for t in batch]),
+            np.array([t.reward for t in batch]),
+            np.stack([t.next_state for t in batch]),
+            np.array([t.done for t in batch]),
+        )
+
     def clear(self) -> None:
         self._buf.clear()
 

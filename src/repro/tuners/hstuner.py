@@ -50,7 +50,7 @@ bit-identically (see :mod:`repro.tuners.journal`).
 from __future__ import annotations
 
 import warnings
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -91,6 +91,25 @@ __all__ = ["HSTuner"]
 #: (only a degenerate space -- all cardinalities 1 -- exhausts this).
 _MAX_PERTURBATION_ATTEMPTS = 16
 
+#: Per-process state of the trace-building pool workers (shipped once
+#: via the initializer instead of pickled per task).
+_POOL_SIMULATOR: IOStackSimulator | None = None
+_POOL_WORKLOAD: WorkloadLike | None = None
+
+
+def _trace_pool_init(simulator: IOStackSimulator, workload: WorkloadLike) -> None:
+    global _POOL_SIMULATOR, _POOL_WORKLOAD
+    _POOL_SIMULATOR = simulator
+    _POOL_WORKLOAD = workload
+
+
+def _trace_pool_job(config: StackConfiguration) -> StackTrace:
+    """Build one trace in a pool worker.  ``trace()`` is a pure
+    function of (platform, workload, config) -- it draws no RNG -- so
+    the result is bit-identical to a parent-process build."""
+    assert _POOL_SIMULATOR is not None and _POOL_WORKLOAD is not None
+    return _POOL_SIMULATOR.trace(_POOL_WORKLOAD, config)
+
 
 class HSTuner(Tuner):
     """GA-based I/O stack tuner (the paper's baseline pipeline).
@@ -120,9 +139,18 @@ class HSTuner(Tuner):
         Dispatch each generation through the toolbox's ``evaluate_batch``
         entry (deduplicates traces within the generation); results are
         bit-identical to per-individual evaluation.
+    workers:
+        Size of the *process* pool building missing traces inside a
+        batch; ``None``, ``0`` or ``1`` (default) build serially and
+        ``N >= 2`` opts in.  Trace construction draws no RNG, so pooled
+        builds are bit-identical to serial ones (the parent is credited
+        with the traversals for stats purposes).  Automatically falls
+        back to serial when a fault plan is attached -- fault decisions
+        must be drawn from the parent's schedule -- or when the pool
+        itself breaks.
     batch_workers:
-        Size of the thread pool building missing traces inside a batch;
-        None (default) builds them serially.  Determinism is unaffected
+        Deprecated alias kept for the legacy *thread* pool; use
+        ``workers`` instead.  Determinism is unaffected either way
         (noise factors are pre-drawn in population order).
     dedupe_duplicates:
         Forwarded to :class:`~repro.ga.engine.EvolutionEngine`: share one
@@ -173,6 +201,7 @@ class HSTuner(Tuner):
         rng: np.random.Generator | None = None,
         cache: EvaluationCache | None = None,
         batch_evaluation: bool = True,
+        workers: int | None = None,
         batch_workers: int | None = None,
         dedupe_duplicates: bool = False,
         retry_policy: RetryPolicy | None = None,
@@ -180,8 +209,20 @@ class HSTuner(Tuner):
         seed_config: StackConfiguration | None = None,
         recorder: Recorder | None = None,
     ):
-        if batch_workers is not None and batch_workers < 1:
-            raise ValueError("batch_workers must be >= 1 (or None for serial)")
+        if workers is not None and workers < 0:
+            raise ValueError(
+                "workers must be >= 0 (or None for serial; >= 2 uses a "
+                "process pool)"
+            )
+        if batch_workers is not None:
+            warnings.warn(
+                "batch_workers (thread pool) is deprecated; use workers "
+                "(process pool) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if batch_workers < 1:
+                raise ValueError("batch_workers must be >= 1 (or None for serial)")
         if seed_config is not None and seed_config.space != space:
             raise ValueError(
                 "seed_config belongs to a different parameter space than the tuner"
@@ -201,6 +242,7 @@ class HSTuner(Tuner):
         self.rng = rng if rng is not None else np.random.default_rng()
         self.cache = cache
         self.batch_evaluation = batch_evaluation
+        self.workers = workers
         self.batch_workers = batch_workers
         self.dedupe_duplicates = dedupe_duplicates
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
@@ -211,6 +253,7 @@ class HSTuner(Tuner):
         self._active_subset_size: int | None = None
         self._n_evaluations = 0
         self._stats_base: tuple[int, int, int, int, int] = (0, 0, 0, 0, 0)
+        self._disk_base: tuple[int, int, int] = (0, 0, 0)
         self._faults_base = 0
         self._prewarm: tuple[int, int, int] = (0, 0, 0)
         #: Iteration the trace's evaluation events belong to (None before
@@ -311,6 +354,11 @@ class HSTuner(Tuner):
         self._resilient.recorder = recorder
         if self.cache is not None:
             self.cache.recorder = recorder
+            # Scope this run's persistent cache entries to the active
+            # constraint registry (None = unconstrained, a distinct key).
+            self.cache.constraint_fingerprint = (
+                self.constraints.fingerprint() if self.constraints is not None else None
+            )
         if self.simulator.faults is not None:
             # Rewind the fault schedule and tie its degraded windows to
             # this run's clock, so repeated tunes replay the same plan.
@@ -790,13 +838,16 @@ class HSTuner(Tuner):
     ) -> list[StackTrace | None]:
         """One trace per config (``None`` for quarantined ones), built
         once per distinct configuration -- through the cache when
-        attached, a thread pool when asked.
+        attached, a process pool (``workers``) or the deprecated thread
+        pool (``batch_workers``) when asked.
 
-        Thread-pool workers perform one bare attempt each; any worker
-        failure routes that configuration through the serial resilient
-        path, which retries transient faults with backoff and wraps
-        unexpected exceptions with the failing configuration's repr (so
-        a raw worker traceback can never lose which genome failed).
+        Pool workers perform one bare attempt each; any worker failure
+        routes that configuration through the serial resilient path,
+        which retries transient faults with backoff and wraps unexpected
+        exceptions with the failing configuration's repr (so a raw
+        worker traceback can never lose which genome failed).  The
+        process pool is skipped entirely under an active fault plan:
+        fault decisions must be drawn from the parent's schedule.
         """
         order: list[StackConfiguration] = []
         index: dict[StackConfiguration, int] = {}
@@ -811,7 +862,7 @@ class HSTuner(Tuner):
             if self._resilient.is_quarantined(config):
                 continue  # stays None: served worst-case downstream
             cached = (
-                self.cache.lookup(self.simulator.platform, workload, config)
+                self.cache.lookup_trace(self.simulator, workload, config)
                 if self.cache is not None
                 else None
             )
@@ -824,7 +875,49 @@ class HSTuner(Tuner):
             return [traces[index[config]] for config in configs]
 
         serial: list[tuple[int, int]] = []  # (order index, prior failed attempts)
-        if self.batch_workers is not None and len(missing) > 1:
+        use_process_pool = (
+            self.workers is not None
+            and self.workers >= 2
+            and len(missing) > 1
+            # Fault decisions are drawn from the parent's schedule; a
+            # worker process would consume a *copy* of the fault stream,
+            # so fault-injected runs always build serially.
+            and self.simulator.faults is None
+        )
+        if use_process_pool:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(missing)),
+                    initializer=_trace_pool_init,
+                    initargs=(self.simulator, workload),
+                ) as pool:
+                    futures = {
+                        j: pool.submit(_trace_pool_job, order[j]) for j in missing
+                    }
+                    for j, future in futures.items():
+                        exc = future.exception()
+                        if exc is None:
+                            traces[j] = future.result()
+                            # The traversal happened in a worker; credit
+                            # it here so eval_stats match a serial run.
+                            self.simulator.traces_built += 1
+                            if self.cache is not None:
+                                self.cache.store_trace(
+                                    self.simulator, workload, order[j], traces[j]
+                                )
+                        else:
+                            self._resilient.stats.fallbacks += 1
+                            serial.append((j, 0))
+            except Exception:
+                # The pool itself broke (spawn failure, pickling issue):
+                # everything unbuilt falls back to the serial path.
+                already = {j for j, _ in serial}
+                extra = [
+                    j for j in missing if traces[j] is None and j not in already
+                ]
+                self._resilient.stats.fallbacks += len(extra)
+                serial.extend((j, 0) for j in extra)
+        elif self.batch_workers is not None and len(missing) > 1:
             with ThreadPoolExecutor(max_workers=self.batch_workers) as pool:
                 futures = {
                     j: pool.submit(self.simulator.trace, workload, order[j])
@@ -835,8 +928,8 @@ class HSTuner(Tuner):
                 if exc is None:
                     traces[j] = future.result()
                     if self.cache is not None:
-                        self.cache.store(
-                            self.simulator.platform, workload, order[j], traces[j]
+                        self.cache.store_trace(
+                            self.simulator, workload, order[j], traces[j]
                         )
                 elif isinstance(exc, EvaluationError):
                     # The worker's attempt counts against the retry
@@ -870,6 +963,14 @@ class HSTuner(Tuner):
 
     # -- fastpath accounting ----------------------------------------------------
 
+    def _disk_counters(self) -> tuple[int, int, int]:
+        """Live (hits, misses, stores) of the cache's persistent
+        backend; zeros without one."""
+        backend = self.cache.backend if self.cache is not None else None
+        if backend is None:
+            return (0, 0, 0)
+        return (backend.hits, backend.misses, backend.stores)
+
     def _begin_stats_window(self) -> None:
         self._n_evaluations = 0
         self._prewarm = (0, 0, 0)
@@ -882,6 +983,7 @@ class HSTuner(Tuner):
             cache.misses if cache else 0,
             cache.evictions if cache else 0,
         )
+        self._disk_base = self._disk_counters()
         self._faults_base = (
             faults.transient_errors_injected + faults.stragglers_injected
             if faults is not None
@@ -893,6 +995,8 @@ class HSTuner(Tuner):
         base), journaled at every record boundary so resume can restore
         them."""
         built0, replays0, hits0, misses0, evict0 = self._stats_base
+        dhits0, dmisses0, dstores0 = self._disk_base
+        dhits, dmisses, dstores = self._disk_counters()
         cache = self.cache
         return {
             "traces_built": self.simulator.traces_built - built0,
@@ -900,6 +1004,9 @@ class HSTuner(Tuner):
             "cache_hits": (cache.hits - hits0) if cache else 0,
             "cache_misses": (cache.misses - misses0) if cache else 0,
             "cache_evictions": (cache.evictions - evict0) if cache else 0,
+            "disk_hits": dhits - dhits0,
+            "disk_misses": dmisses - dmisses0,
+            "disk_stores": dstores - dstores0,
         }
 
     def _restore_fastpath_window(self, window: Mapping[str, int]) -> None:
@@ -919,6 +1026,12 @@ class HSTuner(Tuner):
             (cache.misses if cache else 0) - int(window.get("cache_misses", 0)),
             (cache.evictions if cache else 0) - int(window.get("cache_evictions", 0)),
         )
+        dhits, dmisses, dstores = self._disk_counters()
+        self._disk_base = (
+            dhits - int(window.get("disk_hits", 0)),
+            dmisses - int(window.get("disk_misses", 0)),
+            dstores - int(window.get("disk_stores", 0)),
+        )
 
     def _collect_stats(self) -> EvaluationStats:
         built0, replays0, hits0, misses0, evict0 = self._stats_base
@@ -933,6 +1046,8 @@ class HSTuner(Tuner):
         )
         resilience = self._resilient.stats
         prewarm_lookups, prewarm_hits, prewarm_builds = self._prewarm
+        dhits0, dmisses0, dstores0 = self._disk_base
+        dhits, dmisses, dstores = self._disk_counters()
         return EvaluationStats(
             evaluations=self._n_evaluations,
             cache_hits=(cache.hits - hits0) if cache else 0,
@@ -949,4 +1064,7 @@ class HSTuner(Tuner):
             prewarm_lookups=prewarm_lookups,
             prewarm_hits=prewarm_hits,
             prewarm_builds=prewarm_builds,
+            disk_hits=dhits - dhits0,
+            disk_misses=dmisses - dmisses0,
+            disk_stores=dstores - dstores0,
         )

@@ -218,7 +218,7 @@ class ResilientEvaluator:
         if self.is_quarantined(config):
             return None
         if check_cache and self.cache is not None:
-            cached = self.cache.lookup(self.simulator.platform, workload, config)
+            cached = self.cache.lookup_trace(self.simulator, workload, config)
             if cached is not None:
                 return cached
         last: EvaluationError | None = None
@@ -237,7 +237,7 @@ class ResilientEvaluator:
                     f"trace construction failed for {config!r}"
                 ) from exc
             if self.cache is not None:
-                self.cache.store(self.simulator.platform, workload, config, trace)
+                self.cache.store_trace(self.simulator, workload, config, trace)
             return trace
         assert last is not None
         self._quarantine(config, last)

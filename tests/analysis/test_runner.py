@@ -1,0 +1,107 @@
+"""The process-parallel experiment engine.
+
+The engine's whole claim is *bit-identity*: because every
+:class:`RunSpec` derives its private simulator, RNG stream and cache
+from its own (seed, salt) addressing, mapping the specs over a process
+pool must merge to exactly what the serial loop produces.  These tests
+pin that claim end-to-end on a real figure experiment, with and without
+a shared persistent trace cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig02_log_curves, make_context
+from repro.analysis.runner import ExperimentRunner, RunSpec
+
+pytestmark = pytest.mark.offline_fastpath
+
+
+def _square_job(seed: int) -> float:
+    """Module-level (picklable) toy job: a deterministic draw."""
+    return float(np.random.default_rng(seed).random() ** 2)
+
+
+def test_negative_workers_rejected():
+    with pytest.raises(ValueError, match="workers must be >= 0"):
+        ExperimentRunner(workers=-2)
+
+
+def test_serial_thresholds():
+    assert not ExperimentRunner().parallel
+    assert not ExperimentRunner(workers=0).parallel
+    assert not ExperimentRunner(workers=1).parallel
+    assert ExperimentRunner(workers=2).parallel
+
+
+def test_pool_results_arrive_in_spec_order():
+    specs = [RunSpec(_square_job, dict(seed=s)) for s in range(8)]
+    serial = ExperimentRunner().map(specs)
+    pooled = ExperimentRunner(workers=4).map(specs)
+    assert pooled == serial
+    assert serial == [_square_job(s) for s in range(8)]
+
+
+def assert_tuning_results_identical(a, b):
+    assert a.baseline_perf == b.baseline_perf
+    assert a.best_perf == b.best_perf
+    assert a.best_config == b.best_config
+    assert a.total_minutes == b.total_minutes
+    assert len(a.history) == len(b.history)
+    for ra, rb in zip(a.history, b.history):
+        assert ra.iteration_perf == rb.iteration_perf
+        assert ra.best_perf == rb.best_perf
+        assert ra.elapsed_minutes == rb.elapsed_minutes
+
+
+def test_parallel_figure_run_is_bit_identical_to_serial(tmp_path):
+    """A figure experiment mapped over 4 workers -- with a shared disk
+    cache -- merges to exactly the serial result.
+
+    This is the acceptance gate for the experiment engine: the pool
+    ships the parent's trained context to the workers, each run derives
+    its own simulator/RNG from its salt, and the merge happens in spec
+    order, so nothing about process placement can leak into a number.
+    """
+    serial = fig02_log_curves(seed=0, iterations=6)
+    pooled = fig02_log_curves(
+        seed=0,
+        iterations=6,
+        runner=ExperimentRunner(workers=4, cache_dir=tmp_path / "traces"),
+    )
+    assert set(pooled.results) == set(serial.results)
+    for name in serial.results:
+        assert_tuning_results_identical(serial.results[name], pooled.results[name])
+        assert pooled.log_fit_r2[name] == serial.log_fit_r2[name]
+    # The workers populated the shared persistent cache.
+    assert list((tmp_path / "traces").glob("*.npz"))
+
+
+def test_warm_cache_rerun_is_still_identical(tmp_path):
+    """Re-running against an already-populated cache directory changes
+    nothing: disk hits replay the stored trace bit-identically."""
+    runner = ExperimentRunner(workers=2, cache_dir=tmp_path / "traces")
+    first = fig02_log_curves(seed=0, iterations=5, runner=runner)
+    entries = sorted(p.name for p in (tmp_path / "traces").glob("*.npz"))
+    assert entries
+    second = fig02_log_curves(seed=0, iterations=5, runner=runner)
+    for name in first.results:
+        assert_tuning_results_identical(first.results[name], second.results[name])
+    # Warm run added no new entries: every trace was already on disk.
+    assert sorted(p.name for p in (tmp_path / "traces").glob("*.npz")) == entries
+
+
+def test_context_survives_the_trip_to_a_worker():
+    """Pool workers receive the parent's trained context (weights and
+    all) instead of retraining their own -- the mechanism behind the
+    bit-identity above."""
+    ctx = make_context(0)
+    specs = [RunSpec(_probe_impact, dict(seed=0))]
+    (pooled,) = ExperimentRunner(workers=2).map(specs * 2, context=ctx)[:1]
+    assert np.allclose(pooled, ctx.agents.impact_scores)
+
+
+def _probe_impact(seed: int) -> np.ndarray:
+    """Worker-side probe: the impact scores of the context the worker
+    sees for ``seed`` (the parent's, if context shipping works)."""
+    return make_context(seed).agents.impact_scores

@@ -269,6 +269,66 @@ def test_contradictory_flags_rejected_with_usage_error(flags):
     assert err.value.code == 2
 
 
+# -- offline fastpath flags ----------------------------------------------------
+
+
+@pytest.mark.offline_fastpath
+@pytest.mark.parametrize(
+    "flags",
+    [
+        ["--workers", "-1"],
+        ["--workers", "-3"],
+        ["--cache-dir", "/tmp/x", "--no-eval-cache"],
+    ],
+)
+def test_bad_fastpath_flags_exit_2(flags):
+    with pytest.raises(SystemExit) as err:
+        main(["ior", *flags])
+    assert err.value.code == 2
+
+
+@pytest.mark.offline_fastpath
+def test_batch_workers_flag_is_deprecated(capsys):
+    assert main([
+        "flash", "--tuner", "hstuner", "--iterations", "2", "--seed", "1",
+        "--batch-workers", "2",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "deprecated" in captured.err and "--workers" in captured.err
+    assert "final:" in captured.out
+
+
+@pytest.mark.offline_fastpath
+def test_workers_flag_is_result_transparent(capsys):
+    argv = ["flash", "--tuner", "hstuner", "--iterations", "3", "--seed", "3"]
+    assert main(argv) == 0
+    serial = capsys.readouterr().out
+    assert main([*argv, "--workers", "2"]) == 0
+    pooled = capsys.readouterr().out
+    assert pooled == serial  # bit-identical, fastpath line included
+
+
+@pytest.mark.offline_fastpath
+def test_cache_dir_warm_rerun_is_identical_and_hits_disk(tmp_path, capsys):
+    argv = [
+        "flash", "--tuner", "hstuner", "--iterations", "3", "--seed", "3",
+        "--cache-dir", str(tmp_path / "traces"),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "disk 0/" in cold  # first run: all misses, entries stored
+    assert list((tmp_path / "traces").glob("*.npz"))
+
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "(0 stored)" in warm  # warm run: everything served from disk
+
+    def strip_fastpath(text):
+        return [l for l in text.splitlines() if not l.startswith("fastpath:")]
+
+    assert strip_fastpath(warm) == strip_fastpath(cold)
+
+
 @pytest.mark.guardrails
 def test_resume_rejects_no_eval_cache(capsys):
     """--no-eval-cache contradicts resume (replay re-warms the cache to

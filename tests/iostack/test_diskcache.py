@@ -1,0 +1,281 @@
+"""The persistent disk backend of the evaluation cache.
+
+Three contracts are pinned here:
+
+* **Exact serialization** -- any :class:`StackTrace` round-trips through
+  the fixed-dtype ``.npz`` layout bit-for-bit (property-based, so the
+  layout survives odd names, extreme floats and empty phases).
+* **Key hygiene** -- an entry's content address covers everything that
+  makes serving it safe: config, workload, platform, and the fault-plan
+  / constraint-registry fingerprints.  The stale-entry regression tests
+  prove a trace written under one plan is never served under another.
+* **Degradation** -- corrupt entries, schema bumps and full directories
+  degrade to misses and evictions, never to broken evaluations.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.iostack import (
+    EvaluationCache,
+    IOStackSimulator,
+    NoiseModel,
+    StackConfiguration,
+    cori,
+)
+from repro.iostack.diskcache import (
+    DISK_SCHEMA_VERSION,
+    DiskCacheBackend,
+    trace_from_arrays,
+    trace_to_arrays,
+)
+from repro.iostack.faults import FaultPlan
+from repro.iostack.parameters import TUNED_SPACE
+from repro.iostack.simulator import PhaseTrace, StackTrace, StreamTrace
+from repro.workloads import flash, vpic
+
+pytestmark = pytest.mark.offline_fastpath
+
+
+# -- hypothesis strategies ----------------------------------------------------
+
+# numpy's fixed-width unicode dtype strips trailing NULs, so names must
+# not contain them; surrogates cannot be encoded at all.
+_names = st.text(
+    st.characters(min_codepoint=1, exclude_categories=("Cs",)),
+    min_size=0,
+    max_size=12,
+)
+_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+_counts = st.integers(min_value=0, max_value=2**62)
+
+
+def _streams():
+    return st.builds(
+        StreamTrace,
+        op=st.sampled_from(["read", "write"]),
+        base_seconds=_floats,
+        total_bytes=_counts,
+        total_ops=_counts,
+    )
+
+
+def _phases():
+    return st.builds(
+        PhaseTrace,
+        name=_names,
+        bytes_written=_counts,
+        bytes_read=_counts,
+        write_ops=_counts,
+        read_ops=_counts,
+        meta_ops=_counts,
+        overhead_seconds=_floats,
+        base_meta_seconds=_floats,
+        compute_seconds=_floats,
+        streams=st.lists(_streams(), max_size=3).map(tuple),
+    )
+
+
+def _traces():
+    return st.builds(
+        StackTrace,
+        workload_name=_names,
+        phases=st.lists(_phases(), max_size=4).map(tuple),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(_traces())
+def test_trace_arrays_roundtrip_exactly(trace):
+    assert trace_from_arrays(trace_to_arrays(trace)) == trace
+
+
+@settings(max_examples=25, deadline=None)
+@given(_traces())
+def test_trace_roundtrips_through_npz_bytes(trace):
+    """The real wire format: savez + load, not just the array dicts."""
+    buf = io.BytesIO()
+    np.savez(buf, **trace_to_arrays(trace))
+    buf.seek(0)
+    with np.load(buf) as archive:
+        data = {name: archive[name] for name in archive.files}
+    assert trace_from_arrays(data) == trace
+
+
+def test_schema_mismatch_is_rejected():
+    trace = StackTrace(workload_name="w", phases=())
+    data = trace_to_arrays(trace)
+    data["ints"] = data["ints"].copy()
+    data["ints"][0] = DISK_SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema"):
+        trace_from_arrays(data)
+    with pytest.raises(ValueError, match="missing member"):
+        trace_from_arrays({"ints": data["ints"]})
+
+
+# -- backend store/load -------------------------------------------------------
+
+
+@pytest.fixture
+def sim():
+    return IOStackSimulator(cori(4), NoiseModel(seed=3))
+
+
+def test_backend_roundtrips_a_real_trace(tmp_path, sim):
+    backend = DiskCacheBackend(tmp_path)
+    workload = flash()
+    trace = sim.trace(workload, StackConfiguration.default())
+    key = backend.entry_key(sim.platform, workload, StackConfiguration.default())
+
+    assert backend.load(key) is None
+    backend.store(key, trace)
+    assert backend.load(key) == trace
+    assert len(backend) == 1
+    stats = backend.stats()
+    assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+    # Replaying the loaded trace is bit-identical to replaying the
+    # fresh one under the same noise draws.
+    quiet = IOStackSimulator(cori(4), NoiseModel.quiet())
+    a = quiet.evaluate_trace(trace, repeats=2)
+    b = quiet.evaluate_trace(backend.load(key), repeats=2)
+    assert a.perf_mbps == b.perf_mbps and a.report == b.report
+
+
+def test_corrupt_entry_degrades_to_a_miss(tmp_path, sim):
+    backend = DiskCacheBackend(tmp_path)
+    key = backend.entry_key(
+        sim.platform, flash(), StackConfiguration.default()
+    )
+    (tmp_path / f"{key}.npz").write_bytes(b"this is not an npz archive")
+    assert backend.load(key) is None
+    stats = backend.stats()
+    assert stats.misses == 1 and stats.errors == 1 and stats.hits == 0
+
+
+def test_lru_eviction_keeps_the_freshest_entries(tmp_path, sim):
+    import os
+    import time
+
+    backend = DiskCacheBackend(tmp_path, max_entries=3)
+    trace = sim.trace(flash(), StackConfiguration.default())
+    rng = np.random.default_rng(0)
+    keys = []
+    now = time.time()
+    for i in range(5):
+        key = backend.entry_key(
+            sim.platform, flash(), StackConfiguration.random(rng)
+        )
+        keys.append(key)
+        backend.store(key, trace)
+        # Backdate each entry so LRU order is unambiguous on coarse
+        # clocks (the youngest entry keeps the largest mtime).
+        os.utime(tmp_path / f"{key}.npz", (now - 10 + i, now - 10 + i))
+    assert len(backend) == 3
+    assert backend.evictions >= 2
+    assert backend.load(keys[0]) is None  # stalest: evicted
+    assert backend.load(keys[-1]) == trace  # freshest: kept
+
+
+# -- content-address hygiene --------------------------------------------------
+
+
+def test_entry_key_is_stable_and_sensitive(sim):
+    workload = flash()
+    config = StackConfiguration.default()
+    base = DiskCacheBackend.entry_key(sim.platform, workload, config)
+    assert base == DiskCacheBackend.entry_key(sim.platform, workload, config)
+
+    other_config = config.with_values(striping_factor=64)
+    variants = [
+        DiskCacheBackend.entry_key(sim.platform, workload, other_config),
+        DiskCacheBackend.entry_key(sim.platform, vpic(), config),
+        DiskCacheBackend.entry_key(cori(8), workload, config),
+        DiskCacheBackend.entry_key(
+            sim.platform, workload, config, fault_fingerprint="abc"
+        ),
+        DiskCacheBackend.entry_key(
+            sim.platform, workload, config, constraint_fingerprint="abc"
+        ),
+    ]
+    assert len({base, *variants}) == len(variants) + 1
+
+
+def test_stale_entry_never_crosses_fault_plans(tmp_path):
+    """Regression: a trace persisted by a fault-free run must never
+    satisfy a lookup from a fault-injected run (serving it would skip
+    the plan's per-attempt fault decision), and vice versa."""
+    workload = flash()
+    config = StackConfiguration.default()
+    plain = IOStackSimulator(cori(4), NoiseModel(seed=3))
+    faulted = IOStackSimulator(
+        cori(4),
+        NoiseModel(seed=3),
+        faults=FaultPlan(seed=9, straggler_rate=0.5),
+    )
+
+    writer = EvaluationCache(backend=DiskCacheBackend(tmp_path))
+    writer.get_trace(plain, workload, config)
+    assert writer.backend.stores == 1
+
+    # Fresh cache (cold memory), same directory, fault-injected run.
+    reader = EvaluationCache(backend=DiskCacheBackend(tmp_path))
+    reader.get_trace(faulted, workload, config)
+    assert reader.backend.hits == 0  # the plain entry was NOT served
+    assert reader.backend.stores == 1  # a plan-scoped entry was written
+    assert len(reader.backend) == 2
+
+    # Same plan fingerprint -> the plan-scoped entry is shareable.
+    rereader = EvaluationCache(backend=DiskCacheBackend(tmp_path))
+    same_plan = IOStackSimulator(
+        cori(4),
+        NoiseModel(seed=3),
+        faults=FaultPlan(seed=9, straggler_rate=0.5),
+    )
+    rereader.get_trace(same_plan, workload, config)
+    assert rereader.backend.hits == 1 and rereader.backend.stores == 0
+
+
+def test_stale_entry_never_crosses_constraint_registries(tmp_path):
+    """Regression: the constraint fingerprint scopes entries the same
+    way the fault plan does."""
+    from repro.iostack.parameters import ConstraintRegistry, default_constraints
+
+    workload = flash()
+    config = StackConfiguration.default()
+    sim = IOStackSimulator(cori(4), NoiseModel(seed=3))
+    registry = ConstraintRegistry(TUNED_SPACE, default_constraints(TUNED_SPACE))
+
+    unconstrained = EvaluationCache(backend=DiskCacheBackend(tmp_path))
+    unconstrained.get_trace(sim, workload, config)
+
+    constrained = EvaluationCache(backend=DiskCacheBackend(tmp_path))
+    constrained.constraint_fingerprint = registry.fingerprint()
+    constrained.get_trace(sim, workload, config)
+    assert constrained.backend.hits == 0
+    assert constrained.backend.stores == 1
+    assert len(constrained.backend) == 2
+
+
+def test_disk_hit_is_bit_identical_to_a_cold_run(tmp_path):
+    """The cache contract extends to disk: a run served entirely from a
+    warm directory produces the same numbers as a cold one."""
+    workload = flash()
+    configs = [StackConfiguration.default()] + [
+        StackConfiguration.random(np.random.default_rng(i)) for i in range(3)
+    ]
+
+    def run(cache):
+        sim = IOStackSimulator(cori(4), NoiseModel(seed=11))
+        return [
+            cache.evaluate(sim, workload, c, repeats=3).perf_mbps for c in configs
+        ]
+
+    cold = run(EvaluationCache(backend=DiskCacheBackend(tmp_path)))
+    warm_cache = EvaluationCache(backend=DiskCacheBackend(tmp_path))
+    warm = run(warm_cache)
+    assert warm == cold
+    assert warm_cache.backend.hits == len(configs)
+    assert warm_cache.backend.stores == 0
